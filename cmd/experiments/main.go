@@ -1,0 +1,60 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-run id] [-full] [-frames n]
+//
+// Without -run it executes every experiment. -full switches to the
+// paper-sized training corpus (37 sequences, ~1,921 frames), which takes
+// correspondingly longer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"triplec/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: all, "+strings.Join(experiments.IDs(), ", "))
+	full := flag.Bool("full", false, "use the paper-sized training corpus (37 sequences / ~1,921 frames)")
+	frames := flag.Int("frames", 0, "override the frame count of fig3/fig7 (0 = default)")
+	outPath := flag.String("out", "", "also write the report to this file")
+	flag.Parse()
+
+	study := experiments.DefaultStudy()
+	if *full {
+		study = experiments.PaperStudy()
+	}
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		file, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer file.Close()
+		out = io.MultiWriter(os.Stdout, file)
+	}
+
+	var err error
+	switch {
+	case *run == "all":
+		err = experiments.All(out, study)
+	case *frames > 0 && *run == "fig3":
+		err = experiments.Fig3(out, study, *frames)
+	case *frames > 0 && *run == "fig7":
+		err = experiments.Fig7(out, study, *frames)
+	default:
+		err = experiments.Run(out, study, *run)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

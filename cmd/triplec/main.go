@@ -1,0 +1,178 @@
+// Command triplec runs the full Triple-C loop on a synthetic angiography
+// sequence: it trains the predictor on a profiling corpus, then processes a
+// test sequence twice — once with the straightforward serial mapping and
+// once under the prediction-driven runtime manager — and prints the
+// per-frame latency comparison and the Fig. 7 summary.
+//
+// Usage:
+//
+//	triplec [-frames n] [-seed s] [-train n] [-quiet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"triplec/internal/experiments"
+	"triplec/internal/frame"
+	"triplec/internal/sched"
+	"triplec/internal/stats"
+	"triplec/internal/synth"
+	"triplec/internal/trace"
+)
+
+func main() {
+	frames := flag.Int("frames", 200, "frames to process")
+	seed := flag.Uint64("seed", 7, "synthetic-sequence seed")
+	train := flag.Int("train", 6, "training sequences")
+	quiet := flag.Bool("quiet", false, "summary only, no per-frame rows")
+	csvPath := flag.String("csv", "", "write the latency series to this CSV file")
+	modelPath := flag.String("save-model", "", "write the trained predictor as JSON")
+	replayDir := flag.String("replay", "", "drive the test run from a synthgen/clinical PGM directory instead of a synthetic sequence")
+	sticky := flag.Bool("sticky", false, "keep mappings across frames when they still fit (hysteresis)")
+	adaptive := flag.Bool("adaptive", false, "adapt the latency budget to a quantile of recent latencies")
+	flag.Parse()
+
+	opts := runOpts{
+		frames: *frames, seed: *seed, train: *train, quiet: *quiet,
+		csvPath: *csvPath, modelPath: *modelPath, replayDir: *replayDir,
+		sticky: *sticky, adaptive: *adaptive,
+	}
+	if err := run(opts); err != nil {
+		fmt.Fprintln(os.Stderr, "triplec:", err)
+		os.Exit(1)
+	}
+}
+
+type runOpts struct {
+	frames             int
+	seed               uint64
+	train              int
+	quiet              bool
+	csvPath, modelPath string
+	replayDir          string
+	sticky, adaptive   bool
+}
+
+func run(o runOpts) error {
+	frames, seed, train := o.frames, o.seed, o.train
+	quiet, csvPath, modelPath, replayDir := o.quiet, o.csvPath, o.modelPath, o.replayDir
+	study := experiments.DefaultStudy()
+	study.TrainSeqs = train
+	study.Seed = seed
+
+	fmt.Printf("training Triple-C on %d sequences x %d frames...\n", study.TrainSeqs, study.TrainFrames)
+	p, err := study.TrainPredictor()
+	if err != nil {
+		return err
+	}
+	fmt.Println(p.ModelSummary())
+
+	var src func(int) *frame.Frame
+	if replayDir != "" {
+		rp, err := synth.LoadReplay(replayDir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replaying %d frames from %s\n", rp.Len(), replayDir)
+		src = func(i int) *frame.Frame {
+			f, _ := rp.Frame(i)
+			return f
+		}
+	} else {
+		seq, err := study.Sequence(seed + 424242)
+		if err != nil {
+			return err
+		}
+		src = experiments.Source(seq)
+	}
+
+	straightEng, err := study.Engine()
+	if err != nil {
+		return err
+	}
+	_, straight, err := sched.RunStraightforward(straightEng, frames, src)
+	if err != nil {
+		return err
+	}
+
+	mgr, err := sched.NewManager(p, study.Arch)
+	if err != nil {
+		return err
+	}
+	mgr.Sticky = o.sticky
+	if o.adaptive {
+		mgr.Budgeter = sched.NewBudgetController()
+	}
+	managedEng, err := study.Engine()
+	if err != nil {
+		return err
+	}
+	managed, err := sched.RunManaged(managedEng, mgr, frames, src, study.FramePixels())
+	if err != nil {
+		return err
+	}
+
+	if !quiet {
+		fmt.Printf("%8s %14s %14s %14s %s\n", "frame", "straight (ms)", "managed (ms)", "predicted", "mapping")
+		for i := 0; i < frames; i++ {
+			fmt.Printf("%8d %14.1f %14.1f %14.1f %s\n",
+				i, straight[i], managed.Output[i], managed.Decisions[i].PredictedMs,
+				managed.Decisions[i].Mapping)
+		}
+	}
+
+	if csvPath != "" {
+		tr := trace.New()
+		predicted := make([]float64, frames)
+		for i, d := range managed.Decisions {
+			predicted[i] = d.PredictedMs
+		}
+		for _, col := range []struct {
+			name string
+			vals []float64
+		}{
+			{"straightforward_ms", straight},
+			{"managed_processing_ms", managed.Processing},
+			{"managed_output_ms", managed.Output},
+			{"predicted_ms", predicted},
+		} {
+			if err := tr.Add(col.name, col.vals); err != nil {
+				return err
+			}
+		}
+		file, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		if err := tr.WriteCSV(file); err != nil {
+			return err
+		}
+		fmt.Println("wrote", csvPath)
+	}
+
+	if modelPath != "" {
+		file, err := os.Create(modelPath)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		if err := p.Save(file); err != nil {
+			return err
+		}
+		fmt.Println("wrote", modelPath)
+	}
+
+	cmp, err := sched.Summarize(straight, managed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nstraightforward mapping: %.0f..%.0f ms, worst-vs-avg %.0f%%\n",
+		stats.Min(straight), stats.Max(straight), 100*cmp.StraightWorstVsAvg)
+	fmt.Printf("semi-auto parallel:      budget %.1f ms, worst-vs-avg %.0f%%, overruns %.0f%%\n",
+		cmp.BudgetMs, 100*cmp.ManagedWorstVsAvg, 100*cmp.OverrunRate)
+	fmt.Printf("jitter reduction:        %.0f%%\n", 100*cmp.JitterReduction)
+	return nil
+}

@@ -1,0 +1,10 @@
+// Package triplec is a from-scratch Go reproduction of "Triple-C:
+// Resource-usage prediction for semi-automatic parallelization of groups of
+// dynamic image-processing tasks" (Albers, Suijs, de With — IEEE IPDPS
+// 2009, DOI 10.1109/IPDPS.2009.5160942).
+//
+// The implementation lives in the internal packages (see DESIGN.md for the
+// full system inventory and experiment index); the cmd/ binaries and
+// examples/ programs are the entry points, and the benchmarks in this
+// package regenerate every table and figure of the paper's evaluation.
+package triplec

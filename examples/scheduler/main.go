@@ -1,0 +1,81 @@
+// Scheduler: the paper's Section 6 workflow end to end — train the Triple-C
+// predictor on a profiling corpus, then let the runtime manager repartition
+// the flow graph on the fly and compare against the straightforward static
+// mapping (the paper's Fig. 7).
+//
+// Run with:
+//
+//	go run ./examples/scheduler
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"triplec/internal/experiments"
+	"triplec/internal/sched"
+	"triplec/internal/stats"
+)
+
+func main() {
+	study := experiments.DefaultStudy()
+	study.TrainSeqs = 4
+	study.TrainFrames = 60
+
+	fmt.Println("step 1 — profiling & training (the paper's 37-sequence corpus, scaled down)")
+	predictor, err := study.TrainPredictor()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(predictor.ModelSummary())
+
+	fmt.Println("step 2 — straightforward mapping (static, serial)")
+	seq, err := study.Sequence(31415)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := experiments.Source(seq)
+	const frames = 120
+	eng1, err := study.Engine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, straight, err := sched.RunStraightforward(eng1, frames, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  latency %.0f..%.0f ms (mean %.1f)\n",
+		stats.Min(straight), stats.Max(straight), stats.Mean(straight))
+
+	fmt.Println("step 3 — semi-automatic parallelization (prediction-driven repartitioning)")
+	mgr, err := sched.NewManager(predictor, study.Arch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng2, err := study.Engine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	managed, err := sched.RunManaged(eng2, mgr, frames, src, study.FramePixels())
+	if err != nil {
+		log.Fatal(err)
+	}
+	repartitions := 0
+	for _, d := range managed.Decisions {
+		if d.Repartition {
+			repartitions++
+		}
+	}
+	fmt.Printf("  budget %.1f ms, output latency %.0f..%.0f ms, %d repartitions\n",
+		mgr.BudgetMs, stats.Min(managed.Output), stats.Max(managed.Output), repartitions)
+
+	cmp, err := sched.Summarize(straight, managed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsummary (paper Fig. 7):")
+	fmt.Printf("  worst-vs-average gap: straightforward %.0f%% -> semi-auto %.0f%% (paper: 85%% -> 20%%)\n",
+		100*cmp.StraightWorstVsAvg, 100*cmp.ManagedWorstVsAvg)
+	fmt.Printf("  jitter reduction:     %.0f%% (paper: ~70%%)\n", 100*cmp.JitterReduction)
+	fmt.Printf("  budget overruns:      %.0f%% of frames\n", 100*cmp.OverrunRate)
+}

@@ -1,0 +1,94 @@
+package triplec
+
+// The facade test walks the whole quickstart flow through the re-exported
+// API only, guaranteeing the public surface is complete enough for a
+// downstream user.
+
+import "testing"
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	cfg := DefaultSynthConfig(7)
+	cfg.Width, cfg.Height = 128, 128
+	cfg.MarkerSpacing = 36
+	seq, err := NewSequence(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := NewEngine(PipelineConfig{
+		Width: 128, Height: 128,
+		MarkerSpacing: cfg.MarkerSpacing,
+		Arch:          Blackford(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Profile a short run and train.
+	var reports []Report
+	for i := 0; i < 40; i++ {
+		f, _ := seq.Frame(i)
+		rep, err := eng.Process(f, Serial())
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, rep)
+	}
+	obs := FromReports(reports, 128*128)
+	p, err := Train([][]Observation{obs}, TrainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ResetOnline()
+
+	// Manage a run.
+	mgr, err := NewManager(p, Blackford())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := NewEngine(PipelineConfig{
+		Width: 128, Height: 128,
+		MarkerSpacing: cfg.MarkerSpacing,
+		Arch:          Blackford(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunManaged(eng2, mgr, 30, func(i int) *Frame {
+		f, _ := seq.Frame(100 + i)
+		return f
+	}, 128*128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 30 {
+		t.Fatalf("managed output length %d", len(res.Output))
+	}
+
+	// Baseline comparison through the facade too.
+	eng3, err := NewEngine(PipelineConfig{
+		Width: 128, Height: 128,
+		MarkerSpacing: cfg.MarkerSpacing,
+		Arch:          Blackford(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lats, err := RunStraightforward(eng3, 10, func(i int) *Frame {
+		f, _ := seq.Frame(i)
+		return f
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lats) != 10 || lats[0] <= 0 {
+		t.Fatalf("baseline latencies wrong: %v", lats)
+	}
+}
+
+func TestFacadeFrameHelpers(t *testing.T) {
+	f := NewFrame(8, 8)
+	if f.Pixels() != 64 {
+		t.Fatal("NewFrame wrong")
+	}
+}

@@ -1,0 +1,3 @@
+module triplec
+
+go 1.22

@@ -1,0 +1,327 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustCache(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		cfg Config
+		ok  bool
+	}{
+		{Config{SizeBytes: 1024, LineBytes: 64, Assoc: 4}, true},
+		{Config{SizeBytes: 0, LineBytes: 64}, false},
+		{Config{SizeBytes: 1024, LineBytes: 0}, false},
+		{Config{SizeBytes: 1024, LineBytes: 48}, false},           // not power of two
+		{Config{SizeBytes: 1000, LineBytes: 64}, false},           // not multiple
+		{Config{SizeBytes: 1024, LineBytes: 64, Assoc: 5}, false}, // 16 lines % 5 != 0
+		{Config{SizeBytes: 1024, LineBytes: 64, Assoc: 0}, true},  // fully assoc
+	}
+	for i, tc := range cases {
+		err := tc.cfg.Validate()
+		if (err == nil) != tc.ok {
+			t.Fatalf("case %d: Validate() = %v, ok=%v", i, err, tc.ok)
+		}
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 1024, LineBytes: 64, Assoc: 4})
+	c.Read(0)
+	c.Read(0)
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 1 || s.ColdMisses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.BytesFromMemory != 64 {
+		t.Fatalf("fill traffic = %d, want 64", s.BytesFromMemory)
+	}
+}
+
+func TestSameLineDifferentBytes(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 1024, LineBytes: 64, Assoc: 4})
+	c.Read(0)
+	c.Read(63) // same line
+	if s := c.Stats(); s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("same-line access missed: %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Direct-mapped-by-construction: 2 lines, fully associative, so the
+	// third distinct line evicts the least recently used.
+	c := mustCache(t, Config{SizeBytes: 128, LineBytes: 64, Assoc: 0})
+	c.Read(0)   // line A
+	c.Read(64)  // line B
+	c.Read(0)   // touch A again -> B is LRU
+	c.Read(128) // line C evicts B
+	c.Read(0)   // A still resident -> hit
+	s := c.Stats()
+	if s.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions)
+	}
+	if s.Hits != 2 { // the re-read of A twice
+		t.Fatalf("hits = %d, want 2", s.Hits)
+	}
+	c.Read(64) // B was evicted -> miss again
+	if got := c.Stats().ConflictOrCapMiss; got != 1 {
+		t.Fatalf("capacity misses = %d, want 1", got)
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 64, LineBytes: 64, Assoc: 1})
+	c.Write(0) // dirty line
+	c.Read(64) // evicts dirty line -> writeback
+	s := c.Stats()
+	if s.Writebacks != 1 || s.BytesToMemory != 64 {
+		t.Fatalf("writeback stats: %+v", s)
+	}
+}
+
+func TestCleanEvictionNoWriteback(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 64, LineBytes: 64, Assoc: 1})
+	c.Read(0)
+	c.Read(64)
+	if s := c.Stats(); s.Writebacks != 0 {
+		t.Fatalf("clean eviction wrote back: %+v", s)
+	}
+}
+
+func TestFlushWritesDirty(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 256, LineBytes: 64, Assoc: 0})
+	c.Write(0)
+	c.Write(64)
+	c.Read(128)
+	c.Flush()
+	s := c.Stats()
+	if s.Writebacks != 2 {
+		t.Fatalf("flush writebacks = %d, want 2", s.Writebacks)
+	}
+	if c.Occupancy() != 0 {
+		t.Fatal("flush must invalidate all lines")
+	}
+	// After flush, previously-resident lines miss again (but are not cold).
+	c.Read(0)
+	if got := c.Stats().ConflictOrCapMiss; got != 1 {
+		t.Fatalf("post-flush miss classification: %+v", c.Stats())
+	}
+}
+
+func TestReadRangeTouchesEveryLine(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 4096, LineBytes: 64, Assoc: 4})
+	c.ReadRange(0, 1024) // 16 lines
+	if s := c.Stats(); s.Misses != 16 {
+		t.Fatalf("misses = %d, want 16", s.Misses)
+	}
+}
+
+func TestReadRangeUnalignedStart(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 4096, LineBytes: 64, Assoc: 4})
+	c.ReadRange(32, 64) // spans two lines
+	if s := c.Stats(); s.Misses != 2 {
+		t.Fatalf("misses = %d, want 2", s.Misses)
+	}
+}
+
+func TestWriteRangeDirty(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 4096, LineBytes: 64, Assoc: 4})
+	c.WriteRange(0, 256)
+	c.Flush()
+	if s := c.Stats(); s.Writebacks != 4 {
+		t.Fatalf("writebacks = %d, want 4", s.Writebacks)
+	}
+}
+
+func TestCyclicScanOverflowsLRU(t *testing.T) {
+	// The fundamental behaviour the occupation model relies on: a cyclic
+	// linear scan over a buffer larger than the cache misses on every pass.
+	c := mustCache(t, Config{SizeBytes: 1024, LineBytes: 64, Assoc: 0})
+	const buf = 2048 // 2x capacity
+	c.ReadRange(0, buf)
+	first := c.Stats().Misses
+	c.ReadRange(0, buf)
+	second := c.Stats().Misses - first
+	if second != first {
+		t.Fatalf("second pass misses = %d, want %d (full re-miss)", second, first)
+	}
+}
+
+func TestCyclicScanFitsStaysResident(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 4096, LineBytes: 64, Assoc: 0})
+	const buf = 2048 // fits
+	c.ReadRange(0, buf)
+	before := c.Stats().Misses
+	c.ReadRange(0, buf)
+	if got := c.Stats().Misses - before; got != 0 {
+		t.Fatalf("resident re-scan missed %d times", got)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 1024, LineBytes: 64, Assoc: 4})
+	if c.Stats().HitRate() != 0 {
+		t.Fatal("hit rate before any access must be 0")
+	}
+	c.Read(0)
+	c.Read(0)
+	c.Read(0)
+	c.Read(0)
+	if hr := c.Stats().HitRate(); hr != 0.75 {
+		t.Fatalf("hit rate = %v, want 0.75", hr)
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 256, LineBytes: 64, Assoc: 0})
+	if c.Occupancy() != 0 {
+		t.Fatal("fresh cache must be empty")
+	}
+	c.Read(0)
+	c.Read(64)
+	if c.Occupancy() != 2 {
+		t.Fatalf("occupancy = %d, want 2", c.Occupancy())
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 256, LineBytes: 64, Assoc: 0})
+	c.Read(0)
+	c.ResetStats()
+	c.Read(0)
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 0 {
+		t.Fatalf("contents lost by ResetStats: %+v", s)
+	}
+}
+
+func TestStringDescribesGeometry(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 4 << 20, LineBytes: 64, Assoc: 16})
+	if !strings.Contains(c.String(), "4096KB") {
+		t.Fatalf("String() = %q", c.String())
+	}
+}
+
+func TestTotalTraffic(t *testing.T) {
+	s := Stats{BytesFromMemory: 100, BytesToMemory: 50}
+	if s.TotalTrafficBytes() != 150 {
+		t.Fatal("TotalTrafficBytes wrong")
+	}
+}
+
+// Property: hits + misses == reads + writes.
+func TestPropertyAccessAccounting(t *testing.T) {
+	f := func(addrs []uint16, writes []bool) bool {
+		c, err := New(Config{SizeBytes: 512, LineBytes: 64, Assoc: 2})
+		if err != nil {
+			return false
+		}
+		for i, a := range addrs {
+			w := i < len(writes) && writes[i]
+			if w {
+				c.Write(uint64(a))
+			} else {
+				c.Read(uint64(a))
+			}
+		}
+		s := c.Stats()
+		return s.Hits+s.Misses == s.Reads+s.Writes &&
+			s.ColdMisses+s.ConflictOrCapMiss == s.Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: occupancy never exceeds capacity in lines.
+func TestPropertyOccupancyBounded(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c, err := New(Config{SizeBytes: 1024, LineBytes: 64, Assoc: 4})
+		if err != nil {
+			return false
+		}
+		for _, a := range addrs {
+			c.Read(uint64(a))
+		}
+		return c.Occupancy() <= 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefetchHalvesDemandMisses(t *testing.T) {
+	// A sequential sweep with next-line prefetch: every demand miss brings
+	// the following line along, so roughly half the lines are prefetch hits.
+	c := mustCache(t, Config{SizeBytes: 64 << 10, LineBytes: 64, Assoc: 8, Prefetch: true})
+	c.ReadRange(0, 32<<10) // 512 lines, fits
+	s := c.Stats()
+	if s.Misses >= 300 {
+		t.Fatalf("demand misses = %d, want ~256 with prefetching", s.Misses)
+	}
+	if s.PrefetchHits < 200 {
+		t.Fatalf("prefetch hits = %d, want ~255", s.PrefetchHits)
+	}
+	// Total fill traffic still covers every line exactly once.
+	if got := s.BytesFromMemory; got != 32<<10 && got != (32<<10)+64 {
+		t.Fatalf("fill traffic = %d, want ~%d", got, 32<<10)
+	}
+}
+
+func TestPrefetchOffUnchanged(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 64 << 10, LineBytes: 64, Assoc: 8})
+	c.ReadRange(0, 32<<10)
+	s := c.Stats()
+	if s.Prefetches != 0 || s.PrefetchHits != 0 {
+		t.Fatalf("prefetcher ran while disabled: %+v", s)
+	}
+	if s.Misses != 512 {
+		t.Fatalf("misses = %d, want 512", s.Misses)
+	}
+}
+
+func TestPrefetchDoesNotDuplicateResidentLines(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 4096, LineBytes: 64, Assoc: 0, Prefetch: true})
+	c.Read(64) // fills line 1, prefetches line 2
+	before := c.Stats().Prefetches
+	c.Read(0) // fills line 0; next line 1 already resident -> no prefetch
+	if c.Stats().Prefetches != before {
+		t.Fatalf("prefetched a resident line")
+	}
+}
+
+func TestPrefetchAccountingInvariant(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 2048, LineBytes: 64, Assoc: 2, Prefetch: true})
+	rngState := uint64(7)
+	for i := 0; i < 5000; i++ {
+		rngState = rngState*6364136223846793005 + 1442695040888963407
+		addr := rngState % (64 << 10)
+		if rngState%3 == 0 {
+			c.Write(addr)
+		} else {
+			c.Read(addr)
+		}
+	}
+	s := c.Stats()
+	if s.Hits+s.Misses != s.Reads+s.Writes {
+		t.Fatalf("accounting broken: %+v", s)
+	}
+	if s.BytesFromMemory != (s.Misses+s.Prefetches)*64 {
+		t.Fatalf("fill traffic %d != (misses %d + prefetches %d) * 64",
+			s.BytesFromMemory, s.Misses, s.Prefetches)
+	}
+	if s.PrefetchHits > s.Prefetches {
+		t.Fatalf("more prefetch hits (%d) than prefetches (%d)", s.PrefetchHits, s.Prefetches)
+	}
+}

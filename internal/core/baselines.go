@@ -1,0 +1,105 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"triplec/internal/stats"
+)
+
+// Baseline models the paper argues against, kept for comparison in the
+// ablation benches and the scheduler experiments.
+
+// LastValueModel predicts that the next execution takes exactly as long as
+// the previous one — naive persistence, the simplest dynamic baseline.
+type LastValueModel struct {
+	last    float64
+	seen    bool
+	initial float64 // trained mean, used before the first observation
+}
+
+// NewLastValueModel fits the cold-start value as the training mean.
+func NewLastValueModel(samples []float64) (*LastValueModel, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("core: last-value model needs samples")
+	}
+	return &LastValueModel{initial: stats.Mean(samples)}, nil
+}
+
+// Predict returns the previous observation (or the trained mean cold).
+func (m *LastValueModel) Predict(Context) float64 {
+	if !m.seen {
+		return m.initial
+	}
+	return m.last
+}
+
+// Observe stores the observation.
+func (m *LastValueModel) Observe(_ Context, actualMs float64) {
+	m.last = actualMs
+	m.seen = true
+}
+
+// ResetOnline clears the persistence state.
+func (m *LastValueModel) ResetOnline() {
+	m.last = 0
+	m.seen = false
+}
+
+// Describe names the baseline.
+func (m *LastValueModel) Describe() string { return "last-value baseline" }
+
+// WorstCaseModel always predicts the largest value seen during training —
+// the static worst-case reservation whose drawbacks motivate the paper:
+// "for most of the time, the reserved resource budget is set too
+// conservative" (Section 6).
+type WorstCaseModel struct {
+	Worst float64
+}
+
+// NewWorstCaseModel fits the reservation from training samples.
+func NewWorstCaseModel(samples []float64) (*WorstCaseModel, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("core: worst-case model needs samples")
+	}
+	return &WorstCaseModel{Worst: stats.Max(samples)}, nil
+}
+
+// Predict returns the reservation.
+func (m *WorstCaseModel) Predict(Context) float64 { return m.Worst }
+
+// Observe grows the reservation if the observation exceeds it (a real
+// worst-case reservation must never be undercut).
+func (m *WorstCaseModel) Observe(_ Context, actualMs float64) {
+	if actualMs > m.Worst {
+		m.Worst = actualMs
+	}
+}
+
+// ResetOnline keeps the reservation (it is trained state, not online state).
+func (m *WorstCaseModel) ResetOnline() {}
+
+// Describe names the baseline.
+func (m *WorstCaseModel) Describe() string {
+	return fmt.Sprintf("worst-case reservation (%.4g)", m.Worst)
+}
+
+// OverReservation quantifies the waste of a worst-case reservation against
+// an actual series: the mean fraction of the reserved budget left unused.
+func OverReservation(reservedMs float64, actual []float64) (float64, error) {
+	if reservedMs <= 0 {
+		return 0, errors.New("core: reservation must be positive")
+	}
+	if len(actual) == 0 {
+		return 0, errors.New("core: no actual series")
+	}
+	waste := 0.0
+	for _, a := range actual {
+		w := (reservedMs - a) / reservedMs
+		if w < 0 {
+			w = 0
+		}
+		waste += w
+	}
+	return waste / float64(len(actual)), nil
+}

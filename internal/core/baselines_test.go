@@ -1,0 +1,231 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLastValueModel(t *testing.T) {
+	m, err := NewLastValueModel([]float64{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Predict(Context{}) != 15 {
+		t.Fatal("cold prediction must be the training mean")
+	}
+	m.Observe(Context{}, 42)
+	if m.Predict(Context{}) != 42 {
+		t.Fatal("must persist the last value")
+	}
+	m.ResetOnline()
+	if m.Predict(Context{}) != 15 {
+		t.Fatal("reset must return to the trained mean")
+	}
+	if _, err := NewLastValueModel(nil); err == nil {
+		t.Fatal("empty samples accepted")
+	}
+	if !strings.Contains(m.Describe(), "last-value") {
+		t.Fatal("Describe wrong")
+	}
+}
+
+func TestWorstCaseModel(t *testing.T) {
+	m, err := NewWorstCaseModel([]float64{10, 50, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Predict(Context{}) != 50 {
+		t.Fatal("must predict the training maximum")
+	}
+	m.Observe(Context{}, 70)
+	if m.Predict(Context{}) != 70 {
+		t.Fatal("reservation must grow when undercut")
+	}
+	m.Observe(Context{}, 10)
+	if m.Predict(Context{}) != 70 {
+		t.Fatal("reservation must never shrink")
+	}
+	m.ResetOnline()
+	if m.Predict(Context{}) != 70 {
+		t.Fatal("ResetOnline must keep the reservation")
+	}
+	if _, err := NewWorstCaseModel(nil); err == nil {
+		t.Fatal("empty samples accepted")
+	}
+	if !strings.Contains(m.Describe(), "worst-case") {
+		t.Fatal("Describe wrong")
+	}
+}
+
+func TestOverReservation(t *testing.T) {
+	// Reserve 100; actual usage 50 -> 50% wasted on average.
+	waste, err := OverReservation(100, []float64{50, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(waste-0.5) > 1e-12 {
+		t.Fatalf("waste = %v, want 0.5", waste)
+	}
+	// Overruns count as zero waste, not negative.
+	waste, err = OverReservation(100, []float64{150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if waste != 0 {
+		t.Fatalf("overrun waste = %v, want 0", waste)
+	}
+	if _, err := OverReservation(0, []float64{1}); err == nil {
+		t.Fatal("zero reservation accepted")
+	}
+	if _, err := OverReservation(10, nil); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+// TestTripleCBeatsBaselinesOnDynamicSeries: on a series with both a level
+// shift and short-term correlation, the composite model must out-predict
+// the worst-case reservation (which by construction over-predicts) and at
+// least match naive persistence.
+func TestTripleCBeatsBaselinesOnDynamicSeries(t *testing.T) {
+	// Two-level series with AR(1)-style wiggle.
+	series := make([]float64, 400)
+	level := 20.0
+	for i := range series {
+		if i == 200 {
+			level = 45
+		}
+		wiggle := 3 * math.Sin(float64(i)*1.3)
+		series[i] = level + wiggle
+	}
+	train, test := series[:300], series[300:]
+
+	tri, err := NewEWMAMarkovModel([][]float64{train}, 0.2, 10, "X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := NewWorstCaseModel(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	score := func(m Model) float64 {
+		m.ResetOnline()
+		err := 0.0
+		for i := 1; i < len(test); i++ {
+			m.Observe(Context{}, test[i-1])
+			err += math.Abs(m.Predict(Context{}) - test[i])
+		}
+		return err
+	}
+	triErr := score(tri)
+	worstErr := score(worst)
+	if triErr >= worstErr {
+		t.Fatalf("Triple-C error %v must beat worst-case reservation %v", triErr, worstErr)
+	}
+}
+
+// TestOnlineTrainingAdapts: with OnlineTraining enabled, the chain keeps
+// counting transitions, so a model trained on one regime improves on a new
+// regime as it observes it (the paper's profiling feedback loop).
+func TestOnlineTrainingAdapts(t *testing.T) {
+	// Training regime: strictly alternating +2/-2 residuals around 30, so
+	// the chain learns P(high -> low) = 1.
+	train := make([]float64, 200)
+	for i := range train {
+		train[i] = 30 + 2*math.Pow(-1, float64(i))
+	}
+	// Deployment regime: the same two residual levels but persistent runs
+	// of three — the transition structure changed, which only online
+	// transition counting can pick up.
+	deploy := make([]float64, 300)
+	for i := range deploy {
+		if (i/3)%2 == 0 {
+			deploy[i] = 32
+		} else {
+			deploy[i] = 28
+		}
+	}
+
+	run := func(online bool) float64 {
+		m, err := NewEWMAMarkovModel([][]float64{train}, 0.3, 10, "X")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.OnlineTraining = online
+		m.ResetOnline()
+		errSum := 0.0
+		for i := 1; i < len(deploy); i++ {
+			m.Observe(Context{}, deploy[i-1])
+			// Only score the second half, after adaptation had a chance.
+			if i > len(deploy)/2 {
+				errSum += math.Abs(m.Predict(Context{}) - deploy[i])
+			}
+		}
+		return errSum
+	}
+	withOnline := run(true)
+	withoutOnline := run(false)
+	if withOnline >= withoutOnline {
+		t.Fatalf("online training must adapt: online err %v vs frozen %v", withOnline, withoutOnline)
+	}
+}
+
+func TestHoltMarkovModelValidation(t *testing.T) {
+	if _, err := NewHoltMarkovModel(nil, 0.3, 0.3, 10, "X"); err == nil {
+		t.Fatal("no data accepted")
+	}
+	if _, err := NewHoltMarkovModel([][]float64{{1, 2, 3}}, 0, 0.3, 10, "X"); err == nil {
+		t.Fatal("invalid alpha accepted")
+	}
+}
+
+func TestHoltMarkovBeatsEWMAOnDrift(t *testing.T) {
+	// With a constant drift, the EWMA's lag is absorbed by the residual
+	// chain (its representatives learn the offset), so the variants tie.
+	// The Holt trend term wins when the drift RATE changes between training
+	// and deployment: the chain's trained offset is now wrong, while Holt
+	// re-estimates the trend online.
+	mk := func(n int, slope float64) []float64 {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = 20 + slope*float64(i) + 1.5*math.Sin(float64(i)*2.1)
+		}
+		return s
+	}
+	train := mk(300, 0.05)
+	test := mk(200, 1.0)
+	holt, err := NewHoltMarkovModel([][]float64{train}, 0.3, 0.2, 10, "X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ew, err := NewEWMAMarkovModel([][]float64{train}, 0.3, 10, "X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := func(m Model) float64 {
+		m.ResetOnline()
+		errSum := 0.0
+		for i := 1; i < len(test); i++ {
+			m.Observe(Context{}, test[i-1])
+			errSum += math.Abs(m.Predict(Context{}) - test[i])
+		}
+		return errSum
+	}
+	if hs, es := score(holt), score(ew); hs >= es {
+		t.Fatalf("Holt error %v must beat EWMA %v on drifting load", hs, es)
+	}
+}
+
+func TestHoltMarkovColdFallback(t *testing.T) {
+	m, err := NewHoltMarkovModel([][]float64{{10, 20, 30}}, 0.3, 0.3, 10, "X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Predict(Context{}) != 20 {
+		t.Fatalf("cold prediction = %v, want trained mean 20", m.Predict(Context{}))
+	}
+	if m.Describe() != "Holt + Markov X" {
+		t.Fatalf("Describe = %q", m.Describe())
+	}
+}

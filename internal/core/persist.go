@@ -1,0 +1,180 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"triplec/internal/ewma"
+	"triplec/internal/markov"
+	"triplec/internal/tasks"
+)
+
+// Persistence: a trained Predictor serializes to JSON so training (the
+// expensive profiling pass over the sequence corpus) happens once and the
+// deployed runtime manager loads the models at startup. Only trained
+// parameters are stored; online state (filter levels, current Markov
+// states) always starts fresh.
+
+const persistVersion = 1
+
+type chainJSON struct {
+	Cuts   []float64   `json:"cuts"`
+	Reps   []float64   `json:"reps"`
+	Counts [][]float64 `json:"counts"`
+}
+
+type modelJSON struct {
+	Kind       string             `json:"kind"` // constant | ewma-markov | linear-markov
+	ConstantMs float64            `json:"constantMs,omitempty"`
+	Alpha      float64            `json:"alpha,omitempty"`
+	Fallback   float64            `json:"fallback,omitempty"`
+	ChainName  string             `json:"chainName,omitempty"`
+	Growth     *ewma.LinearGrowth `json:"growth,omitempty"`
+	Online     bool               `json:"online,omitempty"`
+}
+
+type predictorJSON struct {
+	Version   int                  `json:"version"`
+	Models    map[string]modelJSON `json:"models"`
+	Chains    map[string]chainJSON `json:"chains"`
+	Scenarios [8][8]float64        `json:"scenarios"`
+}
+
+func snapshotChain(c *markov.Chain) chainJSON {
+	cuts, reps := c.Quantizer().Snapshot()
+	return chainJSON{Cuts: cuts, Reps: reps, Counts: c.Counts()}
+}
+
+func restoreChain(j chainJSON) (*markov.Chain, error) {
+	q, err := markov.RestoreQuantizer(j.Cuts, j.Reps)
+	if err != nil {
+		return nil, err
+	}
+	return markov.RestoreChain(q, j.Counts)
+}
+
+// Save writes the trained predictor as JSON.
+func (p *Predictor) Save(w io.Writer) error {
+	out := predictorJSON{
+		Version: persistVersion,
+		Models:  map[string]modelJSON{},
+		Chains:  map[string]chainJSON{},
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			out.Scenarios[i][j] = p.Scenarios.counts[i][j]
+		}
+	}
+	for task, m := range p.Models {
+		switch mm := m.(type) {
+		case *ConstantModel:
+			out.Models[string(task)] = modelJSON{Kind: "constant", ConstantMs: mm.Ms}
+		case *EWMAMarkovModel:
+			if _, seen := out.Chains[mm.name]; !seen {
+				out.Chains[mm.name] = snapshotChain(mm.chain)
+			}
+			out.Models[string(task)] = modelJSON{
+				Kind:      "ewma-markov",
+				Alpha:     mm.filter.Alpha(),
+				Fallback:  mm.fallback,
+				ChainName: mm.name,
+				Online:    mm.OnlineTraining,
+			}
+		case *LinearMarkovModel:
+			if _, seen := out.Chains[mm.name]; !seen {
+				out.Chains[mm.name] = snapshotChain(mm.chain)
+			}
+			g := mm.growth
+			out.Models[string(task)] = modelJSON{
+				Kind:      "linear-markov",
+				Growth:    &g,
+				ChainName: mm.name,
+				Online:    mm.OnlineTraining,
+			}
+		default:
+			return fmt.Errorf("core: cannot persist model type %T for %s", m, task)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Load restores a predictor previously written by Save. Shared chains are
+// restored once and shared between the models referencing them, preserving
+// the single-RDG-chain property.
+func Load(r io.Reader) (*Predictor, error) {
+	var in predictorJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if in.Version != persistVersion {
+		return nil, fmt.Errorf("core: unsupported predictor version %d", in.Version)
+	}
+	if len(in.Models) == 0 {
+		return nil, errors.New("core: no models in snapshot")
+	}
+	chains := map[string]*markov.Chain{}
+	for name, cj := range in.Chains {
+		c, err := restoreChain(cj)
+		if err != nil {
+			return nil, fmt.Errorf("core: chain %s: %w", name, err)
+		}
+		chains[name] = c
+	}
+	p := &Predictor{
+		Models:    map[tasks.Name]Model{},
+		Scenarios: &ScenarioTable{},
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			p.Scenarios.counts[i][j] = in.Scenarios[i][j]
+		}
+	}
+	for name, mj := range in.Models {
+		task := tasks.Name(name)
+		switch mj.Kind {
+		case "constant":
+			p.Models[task] = &ConstantModel{Ms: mj.ConstantMs}
+		case "ewma-markov":
+			chain, ok := chains[mj.ChainName]
+			if !ok {
+				return nil, fmt.Errorf("core: model %s references missing chain %q", name, mj.ChainName)
+			}
+			filter, err := ewma.NewFilter(mj.Alpha)
+			if err != nil {
+				return nil, fmt.Errorf("core: model %s: %w", name, err)
+			}
+			m := &EWMAMarkovModel{
+				filter:         filter,
+				chain:          chain,
+				name:           mj.ChainName,
+				fallback:       mj.Fallback,
+				OnlineTraining: mj.Online,
+			}
+			p.Models[task] = m
+			if task == tasks.NameRDGFull {
+				p.rdgChain = m
+			}
+		case "linear-markov":
+			chain, ok := chains[mj.ChainName]
+			if !ok {
+				return nil, fmt.Errorf("core: model %s references missing chain %q", name, mj.ChainName)
+			}
+			if mj.Growth == nil {
+				return nil, fmt.Errorf("core: model %s missing growth coefficients", name)
+			}
+			m, err := NewLinearMarkovModel(*mj.Growth, chain, mj.ChainName)
+			if err != nil {
+				return nil, err
+			}
+			m.OnlineTraining = mj.Online
+			p.Models[task] = m
+		default:
+			return nil, fmt.Errorf("core: unknown model kind %q for %s", mj.Kind, name)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fastStudy keeps experiment tests quick.
+func fastStudy() Study {
+	s := DefaultStudy()
+	s.TrainSeqs = 3
+	s.TrainFrames = 50
+	s.TestSeqs = 1
+	s.TestFrames = 60
+	return s
+}
+
+func TestRegistryCoversAllExperiments(t *testing.T) {
+	want := []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table1", "table2a", "table2b", "accuracy", "multiapp", "ablations", "crossval"}
+	reg := Registry()
+	for _, id := range want {
+		if _, ok := reg[id]; !ok {
+			t.Fatalf("experiment %q missing from registry", id)
+		}
+	}
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, fastStudy(), "nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestFig2Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"150.0 MB/s", "120.0 MB/s", "per-scenario"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig3Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig3(&buf, fastStudy(), 120); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"LPF", "HPF", "autocorrelation", "mean"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Spot-check the verbatim Table 1 numbers.
+	for _, want := range []string{"7168", "5120", "4608", "8192", "2560"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig4Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig4(&buf, fastStudy().Arch); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2327") {
+		t.Fatalf("Fig4 missing clock:\n%s", buf.String())
+	}
+}
+
+func TestFig5Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig5(&buf, fastStudy().Arch); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"EVICTED", "RDG_FULL", "MB/s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig5 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig6Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig6(&buf, fastStudy()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"serial", "2-stripe", "linear growth fit"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig6 missing %q:\n%s", want, out)
+		}
+	}
+	// The sweep must show the 2-stripe column beating serial on the largest
+	// ROI row: parse is overkill, just check ordering textually appears via
+	// the fit being positive.
+	if strings.Contains(out, "y = -") {
+		t.Fatalf("Fig6 fit has negative slope:\n%s", out)
+	}
+}
+
+func TestTable2aOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table2a(&buf, fastStudy()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "s0") {
+		t.Fatalf("Table2a missing states:\n%s", buf.String())
+	}
+}
+
+func TestTable2bOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table2b(&buf, fastStudy()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<Eq. 1> + Markov RDG", "<Eq. 3> + Markov RDG"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table2b missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig7Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig7(&buf, fastStudy(), 80); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"straightforward", "semi-auto", "jitter reduction"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig7 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAccuracyOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := AccuracyReport(&buf, fastStudy()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"mean accuracy", "bandwidth analysis", "worst excursion"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("accuracy report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPaperStudyCorpusSize(t *testing.T) {
+	s := PaperStudy()
+	if s.TrainSeqs != 37 {
+		t.Fatalf("paper study must use 37 sequences, got %d", s.TrainSeqs)
+	}
+	total := s.TrainSeqs * s.TrainFrames
+	if total < 1900 || total > 1950 {
+		t.Fatalf("paper corpus = %d frames, want ~1,921", total)
+	}
+}
+
+func TestStudyObservationsDeterministic(t *testing.T) {
+	s := fastStudy()
+	a, err := s.Observations(42, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Observations(42, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].TotalMs != b[i].TotalMs {
+			t.Fatalf("observation %d not deterministic", i)
+		}
+	}
+}
+
+func TestMultiAppOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := MultiApp(&buf, fastStudy()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"stentboost-A", "stentboost-B", "combined peak core demand", "timeline", "worst-case reservation"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("multiapp report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationsOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Ablations(&buf, fastStudy()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"EWMA + Markov", "worst-case reserve", "state count",
+		"equal-frequency", "equal-width", "order 2", "alpha",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablations report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCrossValOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CrossVal(&buf, fastStudy()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fold 0", "mean accuracy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("crossval report missing %q:\n%s", want, out)
+		}
+	}
+}

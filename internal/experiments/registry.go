@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner executes one experiment against a study.
+type Runner func(w io.Writer, study Study) error
+
+// Registry maps experiment ids (as accepted by cmd/experiments -run) to
+// their runners, covering every table and figure of the paper.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig2":      func(w io.Writer, _ Study) error { return Fig2(w) },
+		"fig3":      func(w io.Writer, s Study) error { return Fig3(w, s, 400) },
+		"fig4":      func(w io.Writer, s Study) error { return Fig4(w, s.Arch) },
+		"fig5":      func(w io.Writer, s Study) error { return Fig5(w, s.Arch) },
+		"fig6":      func(w io.Writer, s Study) error { return Fig6(w, s) },
+		"fig7":      func(w io.Writer, s Study) error { return Fig7(w, s, 200) },
+		"table1":    func(w io.Writer, _ Study) error { return Table1(w) },
+		"table2a":   Table2a,
+		"table2b":   Table2b,
+		"accuracy":  AccuracyReport,
+		"multiapp":  MultiApp,
+		"ablations": Ablations,
+		"crossval":  CrossVal,
+	}
+}
+
+// IDs returns the registered experiment ids in stable order.
+func IDs() []string {
+	reg := Registry()
+	out := make([]string, 0, len(reg))
+	for id := range reg {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(w io.Writer, study Study, id string) error {
+	r, ok := Registry()[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(w, study)
+}
+
+// All executes every experiment in order.
+func All(w io.Writer, study Study) error {
+	for _, id := range IDs() {
+		if err := Run(w, study, id); err != nil {
+			return fmt.Errorf("experiments: %s: %w", id, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package flowgraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"triplec/internal/tasks"
+)
+
+// Property: total bandwidth is linear in the frame rate and monotone in the
+// frame size, for every scenario.
+func TestPropertyBandwidthScaling(t *testing.T) {
+	f := func(frameRaw uint16, idx uint8) bool {
+		frameKB := int(frameRaw)%4096 + 64
+		s := FromIndex(int(idx) % 8)
+		a, err := s.TotalMBs(frameKB, 30)
+		if err != nil {
+			return false
+		}
+		b, err := s.TotalMBs(frameKB, 60)
+		if err != nil {
+			return false
+		}
+		if b < a*1.99 || b > a*2.01 {
+			return false
+		}
+		bigger, err := s.TotalMBs(frameKB*2, 30)
+		if err != nil {
+			return false
+		}
+		return bigger >= a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a scenario with more switches enabled never has lower bandwidth
+// than the same scenario with RegSuccess or RDGOn turned off.
+func TestPropertySwitchMonotonicity(t *testing.T) {
+	f := func(frameRaw uint16, idx uint8) bool {
+		frameKB := int(frameRaw)%4096 + 64
+		s := FromIndex(int(idx) % 8)
+		total, err := s.TotalMBs(frameKB, 30)
+		if err != nil {
+			return false
+		}
+		if s.RegSuccess {
+			off := s
+			off.RegSuccess = false
+			cheaper, err := off.TotalMBs(frameKB, 30)
+			if err != nil || cheaper > total {
+				return false
+			}
+		}
+		if s.RDGOn {
+			off := s
+			off.RDGOn = false
+			cheaper, err := off.TotalMBs(frameKB, 30)
+			if err != nil || cheaper > total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the active task set always contains the analysis backbone and
+// is consistent with the edge list.
+func TestPropertyActiveTasksBackbone(t *testing.T) {
+	f := func(idx uint8) bool {
+		s := FromIndex(int(idx) % 8)
+		have := map[tasks.Name]bool{}
+		for _, task := range s.ActiveTasks() {
+			have[task] = true
+		}
+		if !have[tasks.NameMKXExt] || !have[tasks.NameCPLSSel] || !have[tasks.NameREG] || !have[tasks.NameDetect] {
+			return false
+		}
+		if s.RegSuccess != have[tasks.NameENH] || s.RegSuccess != have[tasks.NameZOOM] {
+			return false
+		}
+		if s.RDGOn != (have[tasks.NameRDGFull] || have[tasks.NameRDGROI]) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

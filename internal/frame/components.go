@@ -1,0 +1,90 @@
+package frame
+
+// Component is a 4-connected region of non-zero pixels, as produced by
+// LabelComponents. The marker-extraction task scores components as candidate
+// balloon markers.
+type Component struct {
+	Label    int     // 1-based component id
+	Size     int     // pixel count
+	BBox     Rect    // tight bounding box
+	CX, CY   float64 // centroid
+	MeanVal  float64 // mean source-pixel value over the component
+	Compact  float64 // Size / BBox.Area(); 1.0 for a filled rectangle
+	Elongate float64 // max(w,h)/min(w,h) of the bounding box
+}
+
+// LabelComponents finds 4-connected components of non-zero pixels in mask,
+// computing statistics against the pixel values of src (which must share
+// mask's bounds; pass mask itself to use binary values). Components smaller
+// than minSize are discarded.
+func LabelComponents(mask, src *Frame, minSize int) []Component {
+	if src == nil {
+		src = mask
+	}
+	b := mask.Bounds
+	w, h := b.Width(), b.Height()
+	if w == 0 || h == 0 {
+		return nil
+	}
+	labels := make([]int32, w*h)
+	var comps []Component
+	// Iterative flood fill with an explicit stack to avoid recursion depth
+	// limits on large blobs.
+	stack := make([][2]int, 0, 64)
+	next := int32(1)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if labels[y*w+x] != 0 || mask.At(b.X0+x, b.Y0+y) == 0 {
+				continue
+			}
+			id := next
+			next++
+			c := Component{Label: int(id), BBox: Rect{b.X0 + x, b.Y0 + y, b.X0 + x + 1, b.Y0 + y + 1}}
+			var sumX, sumY, sumV float64
+			stack = stack[:0]
+			stack = append(stack, [2]int{x, y})
+			labels[y*w+x] = id
+			for len(stack) > 0 {
+				p := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				px, py := p[0], p[1]
+				gx, gy := b.X0+px, b.Y0+py
+				c.Size++
+				sumX += float64(gx)
+				sumY += float64(gy)
+				sumV += float64(src.AtClamped(gx, gy))
+				c.BBox = c.BBox.Union(Rect{gx, gy, gx + 1, gy + 1})
+				for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+					nx, ny := px+d[0], py+d[1]
+					if nx < 0 || nx >= w || ny < 0 || ny >= h {
+						continue
+					}
+					if labels[ny*w+nx] != 0 || mask.At(b.X0+nx, b.Y0+ny) == 0 {
+						continue
+					}
+					labels[ny*w+nx] = id
+					stack = append(stack, [2]int{nx, ny})
+				}
+			}
+			if c.Size < minSize {
+				continue
+			}
+			c.CX = sumX / float64(c.Size)
+			c.CY = sumY / float64(c.Size)
+			c.MeanVal = sumV / float64(c.Size)
+			if a := c.BBox.Area(); a > 0 {
+				c.Compact = float64(c.Size) / float64(a)
+			}
+			bw, bh := c.BBox.Width(), c.BBox.Height()
+			if bw > 0 && bh > 0 {
+				if bw > bh {
+					c.Elongate = float64(bw) / float64(bh)
+				} else {
+					c.Elongate = float64(bh) / float64(bw)
+				}
+			}
+			comps = append(comps, c)
+		}
+	}
+	return comps
+}

@@ -1,0 +1,67 @@
+package frame
+
+// Annotation primitives for saved output images: rectangle outlines around
+// ROIs and cross markers at detected positions, so exported PGMs show what
+// the analysis found.
+
+// DrawRectOutline draws a 1-pixel rectangle outline of value v along the
+// border of r (clipped to the frame).
+func DrawRectOutline(f *Frame, r Rect, v uint16) {
+	r = r.Intersect(f.Bounds)
+	if r.Empty() {
+		return
+	}
+	for x := r.X0; x < r.X1; x++ {
+		f.Set(x, r.Y0, v)
+		f.Set(x, r.Y1-1, v)
+	}
+	for y := r.Y0; y < r.Y1; y++ {
+		f.Set(r.X0, y, v)
+		f.Set(r.X1-1, y, v)
+	}
+}
+
+// DrawCross draws a cross of half-length arm centered at (cx, cy).
+func DrawCross(f *Frame, cx, cy, arm int, v uint16) {
+	for d := -arm; d <= arm; d++ {
+		f.Set(cx+d, cy, v)
+		f.Set(cx, cy+d, v)
+	}
+}
+
+// DrawLine draws a 1-pixel line from (x0, y0) to (x1, y1) using integer
+// Bresenham stepping.
+func DrawLine(f *Frame, x0, y0, x1, y1 int, v uint16) {
+	dx := absInt(x1 - x0)
+	dy := -absInt(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		f.Set(x0, y0, v)
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

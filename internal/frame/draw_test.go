@@ -1,0 +1,85 @@
+package frame
+
+import "testing"
+
+func TestDrawRectOutline(t *testing.T) {
+	f := New(10, 10)
+	DrawRectOutline(f, R(2, 3, 7, 8), 999)
+	// Corners and edges set, interior untouched.
+	for _, p := range [][2]int{{2, 3}, {6, 3}, {2, 7}, {6, 7}, {4, 3}, {2, 5}} {
+		if f.At(p[0], p[1]) != 999 {
+			t.Fatalf("outline missing at %v", p)
+		}
+	}
+	if f.At(4, 5) != 0 {
+		t.Fatal("interior must stay untouched")
+	}
+}
+
+func TestDrawRectOutlineClipped(t *testing.T) {
+	f := New(8, 8)
+	DrawRectOutline(f, R(-5, -5, 20, 20), 100) // fully clipped to the frame
+	if f.At(0, 0) != 100 || f.At(7, 7) != 100 {
+		t.Fatal("clipped outline must hug the frame border")
+	}
+	DrawRectOutline(f, R(50, 50, 60, 60), 100) // disjoint: no-op, no panic
+}
+
+func TestDrawCross(t *testing.T) {
+	f := New(9, 9)
+	DrawCross(f, 4, 4, 2, 777)
+	for d := -2; d <= 2; d++ {
+		if f.At(4+d, 4) != 777 || f.At(4, 4+d) != 777 {
+			t.Fatalf("cross arm missing at offset %d", d)
+		}
+	}
+	if f.At(3, 3) != 0 {
+		t.Fatal("diagonal must stay untouched")
+	}
+	DrawCross(f, 0, 0, 5, 1) // partially off-frame: no panic
+}
+
+func TestDrawLineHorizontalVertical(t *testing.T) {
+	f := New(10, 10)
+	DrawLine(f, 1, 2, 8, 2, 50)
+	for x := 1; x <= 8; x++ {
+		if f.At(x, 2) != 50 {
+			t.Fatalf("horizontal line missing at %d", x)
+		}
+	}
+	DrawLine(f, 3, 0, 3, 9, 60)
+	for y := 0; y <= 9; y++ {
+		if f.At(3, y) != 60 {
+			t.Fatalf("vertical line missing at %d", y)
+		}
+	}
+}
+
+func TestDrawLineDiagonalEndpoints(t *testing.T) {
+	f := New(16, 16)
+	DrawLine(f, 2, 3, 13, 11, 90)
+	if f.At(2, 3) != 90 || f.At(13, 11) != 90 {
+		t.Fatal("line endpoints missing")
+	}
+	// The line must be connected-ish: count pixels along it.
+	n := 0
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			if f.At(x, y) == 90 {
+				n++
+			}
+		}
+	}
+	if n < 11 {
+		t.Fatalf("diagonal line too sparse: %d pixels", n)
+	}
+}
+
+func TestDrawLineReverseDirection(t *testing.T) {
+	a, b := New(10, 10), New(10, 10)
+	DrawLine(a, 1, 1, 8, 6, 5)
+	DrawLine(b, 8, 6, 1, 1, 5)
+	if !a.Equal(b) {
+		t.Fatal("line must be direction independent")
+	}
+}

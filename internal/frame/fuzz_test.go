@@ -1,0 +1,52 @@
+package frame
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadPGM hardens the PGM parser against malformed input: it must
+// return an error or a consistent frame, never panic or over-allocate.
+func FuzzReadPGM(f *testing.F) {
+	// Seed corpus: a valid tiny PGM plus truncations and corruptions.
+	valid := func() []byte {
+		fr := New(3, 2)
+		fr.Set(1, 1, 777)
+		var buf bytes.Buffer
+		if err := WritePGM(&buf, fr); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte("P5\n3 2\n65535\n"))
+	f.Add([]byte("P5\n-1 2\n65535\n\x00"))
+	f.Add([]byte("P2\n1 1\n255\n0"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadPGM(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Parsed frames must be internally consistent and round-trip.
+		if fr.Width() <= 0 || fr.Height() <= 0 {
+			t.Fatalf("parsed frame with bad geometry %dx%d", fr.Width(), fr.Height())
+		}
+		if len(fr.Pix) != fr.Width()*fr.Height() {
+			t.Fatalf("pixel buffer size mismatch")
+		}
+		var buf bytes.Buffer
+		if err := WritePGM(&buf, fr); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := ReadPGM(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if !back.Equal(fr) {
+			t.Fatal("round trip changed pixels")
+		}
+	})
+}

@@ -1,0 +1,317 @@
+package frame
+
+import (
+	"errors"
+	"math"
+)
+
+// Kernel is a square convolution kernel with odd side length.
+type Kernel struct {
+	Side int       // side length, odd
+	W    []float64 // Side*Side weights, row-major
+}
+
+// NewKernel constructs a kernel from weights; len(w) must be an odd perfect
+// square.
+func NewKernel(w []float64) (Kernel, error) {
+	side := int(math.Round(math.Sqrt(float64(len(w)))))
+	if side*side != len(w) || side%2 == 0 || side == 0 {
+		return Kernel{}, errors.New("frame: kernel must be an odd square")
+	}
+	return Kernel{Side: side, W: w}, nil
+}
+
+// Convolve applies k to src with replicate borders and returns a new frame
+// of the same bounds. Results are clamped to [0, 65535].
+func Convolve(src *Frame, k Kernel) *Frame {
+	dst := New(src.Width(), src.Height())
+	dst.Bounds = src.Bounds
+	r := k.Side / 2
+	for y := src.Bounds.Y0; y < src.Bounds.Y1; y++ {
+		for x := src.Bounds.X0; x < src.Bounds.X1; x++ {
+			acc := 0.0
+			wi := 0
+			for dy := -r; dy <= r; dy++ {
+				for dx := -r; dx <= r; dx++ {
+					acc += k.W[wi] * float64(src.AtClamped(x+dx, y+dy))
+					wi++
+				}
+			}
+			dst.Pix[(y-src.Bounds.Y0)*dst.Stride+(x-src.Bounds.X0)] = clamp16(acc)
+		}
+	}
+	return dst
+}
+
+// GaussianKernel1D returns a normalized 1-D Gaussian of the given sigma,
+// truncated at 3 sigma (minimum radius 1).
+func GaussianKernel1D(sigma float64) []float64 {
+	if sigma <= 0 {
+		return []float64{1}
+	}
+	r := int(math.Ceil(3 * sigma))
+	if r < 1 {
+		r = 1
+	}
+	w := make([]float64, 2*r+1)
+	sum := 0.0
+	for i := -r; i <= r; i++ {
+		v := math.Exp(-float64(i*i) / (2 * sigma * sigma))
+		w[i+r] = v
+		sum += v
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// GaussianBlur applies a separable Gaussian of the given sigma (two 1-D
+// passes), the standard pre-smoothing step of the ridge filter.
+func GaussianBlur(src *Frame, sigma float64) *Frame {
+	w := GaussianKernel1D(sigma)
+	r := len(w) / 2
+	tmp := New(src.Width(), src.Height())
+	tmp.Bounds = src.Bounds
+	// Horizontal pass.
+	for y := src.Bounds.Y0; y < src.Bounds.Y1; y++ {
+		for x := src.Bounds.X0; x < src.Bounds.X1; x++ {
+			acc := 0.0
+			for i := -r; i <= r; i++ {
+				acc += w[i+r] * float64(src.AtClamped(x+i, y))
+			}
+			tmp.Pix[(y-src.Bounds.Y0)*tmp.Stride+(x-src.Bounds.X0)] = clamp16(acc)
+		}
+	}
+	// Vertical pass.
+	dst := New(src.Width(), src.Height())
+	dst.Bounds = src.Bounds
+	for y := src.Bounds.Y0; y < src.Bounds.Y1; y++ {
+		for x := src.Bounds.X0; x < src.Bounds.X1; x++ {
+			acc := 0.0
+			for i := -r; i <= r; i++ {
+				acc += w[i+r] * float64(tmp.AtClamped(x, y+i))
+			}
+			dst.Pix[(y-src.Bounds.Y0)*dst.Stride+(x-src.Bounds.X0)] = clamp16(acc)
+		}
+	}
+	return dst
+}
+
+// Hessian holds the three independent second-derivative responses at a pixel.
+type Hessian struct {
+	XX, YY, XY float64
+}
+
+// HessianAt computes central-difference second derivatives at (x, y) with
+// replicate borders.
+func HessianAt(f *Frame, x, y int) Hessian {
+	c := float64(f.AtClamped(x, y))
+	return Hessian{
+		XX: float64(f.AtClamped(x+1, y)) - 2*c + float64(f.AtClamped(x-1, y)),
+		YY: float64(f.AtClamped(x, y+1)) - 2*c + float64(f.AtClamped(x, y-1)),
+		XY: (float64(f.AtClamped(x+1, y+1)) - float64(f.AtClamped(x-1, y+1)) -
+			float64(f.AtClamped(x+1, y-1)) + float64(f.AtClamped(x-1, y-1))) / 4,
+	}
+}
+
+// Eigenvalues returns the eigenvalues of the 2x2 symmetric Hessian, ordered
+// |l1| >= |l2|. For a dark line on a bright background the principal
+// eigenvalue l1 is large and positive.
+func (h Hessian) Eigenvalues() (l1, l2 float64) {
+	tr := h.XX + h.YY
+	det := h.XX*h.YY - h.XY*h.XY
+	disc := math.Sqrt(math.Max(0, tr*tr/4-det))
+	a, b := tr/2+disc, tr/2-disc
+	if math.Abs(a) >= math.Abs(b) {
+		return a, b
+	}
+	return b, a
+}
+
+// Gradient returns central-difference first derivatives at (x, y).
+func Gradient(f *Frame, x, y int) (gx, gy float64) {
+	gx = (float64(f.AtClamped(x+1, y)) - float64(f.AtClamped(x-1, y))) / 2
+	gy = (float64(f.AtClamped(x, y+1)) - float64(f.AtClamped(x, y-1))) / 2
+	return gx, gy
+}
+
+// Threshold returns a frame where pixels >= t map to 65535 and others to 0.
+func Threshold(src *Frame, t uint16) *Frame {
+	dst := New(src.Width(), src.Height())
+	dst.Bounds = src.Bounds
+	for y := src.Bounds.Y0; y < src.Bounds.Y1; y++ {
+		srow := src.Row(y)
+		drow := dst.Pix[(y-src.Bounds.Y0)*dst.Stride : (y-src.Bounds.Y0)*dst.Stride+src.Width()]
+		for i, v := range srow {
+			if v >= t {
+				drow[i] = 0xFFFF
+			}
+		}
+	}
+	return dst
+}
+
+// Invert returns 65535 - pixel for every pixel (dark features become bright).
+func Invert(src *Frame) *Frame {
+	dst := New(src.Width(), src.Height())
+	dst.Bounds = src.Bounds
+	for y := src.Bounds.Y0; y < src.Bounds.Y1; y++ {
+		srow := src.Row(y)
+		drow := dst.Pix[(y-src.Bounds.Y0)*dst.Stride : (y-src.Bounds.Y0)*dst.Stride+src.Width()]
+		for i, v := range srow {
+			drow[i] = 0xFFFF - v
+		}
+	}
+	return dst
+}
+
+// AbsDiff returns |a - b| per pixel; the frames must have equal bounds.
+// This is the temporal difference used by the registration stage.
+func AbsDiff(a, b *Frame) (*Frame, error) {
+	if a.Bounds != b.Bounds {
+		return nil, errors.New("frame: AbsDiff bounds mismatch")
+	}
+	dst := New(a.Width(), a.Height())
+	dst.Bounds = a.Bounds
+	for y := a.Bounds.Y0; y < a.Bounds.Y1; y++ {
+		ar, br := a.Row(y), b.Row(y)
+		drow := dst.Pix[(y-a.Bounds.Y0)*dst.Stride : (y-a.Bounds.Y0)*dst.Stride+a.Width()]
+		for i := range ar {
+			if ar[i] >= br[i] {
+				drow[i] = ar[i] - br[i]
+			} else {
+				drow[i] = br[i] - ar[i]
+			}
+		}
+	}
+	return dst, nil
+}
+
+// Normalize linearly rescales the frame's pixel range to [0, 65535].
+// A constant frame maps to all-zero.
+func Normalize(src *Frame) *Frame {
+	lo, hi := src.MinMax()
+	dst := New(src.Width(), src.Height())
+	dst.Bounds = src.Bounds
+	if hi == lo {
+		return dst
+	}
+	scale := 65535.0 / float64(hi-lo)
+	for y := src.Bounds.Y0; y < src.Bounds.Y1; y++ {
+		srow := src.Row(y)
+		drow := dst.Pix[(y-src.Bounds.Y0)*dst.Stride : (y-src.Bounds.Y0)*dst.Stride+src.Width()]
+		for i, v := range srow {
+			drow[i] = clamp16(float64(v-lo) * scale)
+		}
+	}
+	return dst
+}
+
+// BilinearAt samples f at the real-valued location (x, y) with bilinear
+// interpolation and replicate borders.
+func BilinearAt(f *Frame, x, y float64) float64 {
+	x0, y0 := int(math.Floor(x)), int(math.Floor(y))
+	fx, fy := x-float64(x0), y-float64(y0)
+	v00 := float64(f.AtClamped(x0, y0))
+	v10 := float64(f.AtClamped(x0+1, y0))
+	v01 := float64(f.AtClamped(x0, y0+1))
+	v11 := float64(f.AtClamped(x0+1, y0+1))
+	return v00*(1-fx)*(1-fy) + v10*fx*(1-fy) + v01*(1-fx)*fy + v11*fx*fy
+}
+
+// Resize scales src to (w, h) with bilinear interpolation; this is the
+// zoom-stage primitive.
+func Resize(src *Frame, w, h int) *Frame {
+	dst := New(w, h)
+	if src.Pixels() == 0 || w == 0 || h == 0 {
+		return dst
+	}
+	sx := float64(src.Width()) / float64(w)
+	sy := float64(src.Height()) / float64(h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			srcX := float64(src.Bounds.X0) + (float64(x)+0.5)*sx - 0.5
+			srcY := float64(src.Bounds.Y0) + (float64(y)+0.5)*sy - 0.5
+			dst.Pix[y*dst.Stride+x] = clamp16(BilinearAt(src, srcX, srcY))
+		}
+	}
+	return dst
+}
+
+// Translate returns src shifted by the real-valued offset (dx, dy) using
+// bilinear resampling; the registration stage aligns frames this way.
+func Translate(src *Frame, dx, dy float64) *Frame {
+	dst := New(src.Width(), src.Height())
+	dst.Bounds = src.Bounds
+	for y := src.Bounds.Y0; y < src.Bounds.Y1; y++ {
+		for x := src.Bounds.X0; x < src.Bounds.X1; x++ {
+			v := BilinearAt(src, float64(x)-dx, float64(y)-dy)
+			dst.Pix[(y-src.Bounds.Y0)*dst.Stride+(x-src.Bounds.X0)] = clamp16(v)
+		}
+	}
+	return dst
+}
+
+// Accumulator integrates frames for temporal averaging (the enhancement
+// stage). It keeps 32-bit sums so up to 65536 16-bit frames can be
+// integrated without overflow.
+type Accumulator struct {
+	sum    []uint32
+	w, h   int
+	frames int
+}
+
+// NewAccumulator returns an accumulator for frames of (w, h) pixels.
+func NewAccumulator(w, h int) *Accumulator {
+	return &Accumulator{sum: make([]uint32, w*h), w: w, h: h}
+}
+
+// Add integrates one frame; its dimensions must match the accumulator's.
+func (a *Accumulator) Add(f *Frame) error {
+	if f.Width() != a.w || f.Height() != a.h {
+		return errors.New("frame: accumulator dimension mismatch")
+	}
+	i := 0
+	for y := f.Bounds.Y0; y < f.Bounds.Y1; y++ {
+		for _, v := range f.Row(y) {
+			a.sum[i] += uint32(v)
+			i++
+		}
+	}
+	a.frames++
+	return nil
+}
+
+// Frames returns how many frames have been integrated.
+func (a *Accumulator) Frames() int { return a.frames }
+
+// Average returns the running mean frame; nil before any Add.
+func (a *Accumulator) Average() *Frame {
+	if a.frames == 0 {
+		return nil
+	}
+	out := New(a.w, a.h)
+	for i, s := range a.sum {
+		out.Pix[i] = uint16(s / uint32(a.frames))
+	}
+	return out
+}
+
+// Reset clears the accumulator.
+func (a *Accumulator) Reset() {
+	for i := range a.sum {
+		a.sum[i] = 0
+	}
+	a.frames = 0
+}
+
+func clamp16(v float64) uint16 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 65535 {
+		return 65535
+	}
+	return uint16(v + 0.5)
+}

@@ -1,0 +1,173 @@
+package frame
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Additional pixel operations used by task options and available to
+// downstream users of the image substrate: rank filtering, histogram-based
+// thresholding, area downsampling and integral images.
+
+// Median3x3 applies a 3x3 median filter with replicate borders — the
+// classic X-ray salt-and-pepper (quantum mottle) suppressor.
+func Median3x3(src *Frame) *Frame {
+	dst := New(src.Width(), src.Height())
+	dst.Bounds = src.Bounds
+	var window [9]uint16
+	for y := src.Bounds.Y0; y < src.Bounds.Y1; y++ {
+		for x := src.Bounds.X0; x < src.Bounds.X1; x++ {
+			i := 0
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					window[i] = src.AtClamped(x+dx, y+dy)
+					i++
+				}
+			}
+			w := window
+			sort.Slice(w[:], func(a, b int) bool { return w[a] < w[b] })
+			dst.Pix[(y-src.Bounds.Y0)*dst.Stride+(x-src.Bounds.X0)] = w[4]
+		}
+	}
+	return dst
+}
+
+// OtsuThreshold computes the threshold maximizing inter-class variance over
+// the frame's 256-bin intensity histogram (computed on the top 8 bits),
+// returning the 16-bit threshold value. An error is returned for empty or
+// constant frames, where no threshold separates anything.
+func OtsuThreshold(src *Frame) (uint16, error) {
+	n := src.Pixels()
+	if n == 0 {
+		return 0, errors.New("frame: Otsu on empty frame")
+	}
+	var hist [256]int
+	for y := src.Bounds.Y0; y < src.Bounds.Y1; y++ {
+		for _, v := range src.Row(y) {
+			hist[v>>8]++
+		}
+	}
+	// Classic Otsu over the histogram.
+	sumAll := 0.0
+	for t, c := range hist {
+		sumAll += float64(t) * float64(c)
+	}
+	var sumB, wB float64
+	bestVar, bestT := -1.0, -1
+	for t := 0; t < 256; t++ {
+		wB += float64(hist[t])
+		if wB == 0 {
+			continue
+		}
+		wF := float64(n) - wB
+		if wF == 0 {
+			break
+		}
+		sumB += float64(t) * float64(hist[t])
+		mB := sumB / wB
+		mF := (sumAll - sumB) / wF
+		between := wB * wF * (mB - mF) * (mB - mF)
+		if between > bestVar {
+			bestVar = between
+			bestT = t
+		}
+	}
+	if bestT < 0 || bestVar <= 0 {
+		return 0, errors.New("frame: Otsu found no separating threshold")
+	}
+	return uint16(bestT)<<8 | 0xFF, nil
+}
+
+// Downsample2x halves both dimensions by averaging disjoint 2x2 blocks —
+// the proper area filter (Resize point-samples bilinearly and keeps more
+// noise). Odd trailing rows/columns are dropped.
+func Downsample2x(src *Frame) *Frame {
+	w, h := src.Width()/2, src.Height()/2
+	dst := New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			sx := src.Bounds.X0 + 2*x
+			sy := src.Bounds.Y0 + 2*y
+			sum := uint32(src.At(sx, sy)) + uint32(src.At(sx+1, sy)) +
+				uint32(src.At(sx, sy+1)) + uint32(src.At(sx+1, sy+1))
+			dst.Pix[y*dst.Stride+x] = uint16(sum / 4)
+		}
+	}
+	return dst
+}
+
+// Integral is a summed-area table: Sum(x0,y0,x1,y1) of any rectangle in
+// O(1) after O(n) construction.
+type Integral struct {
+	w, h int
+	sums []uint64 // (w+1) x (h+1), row-major, first row/col zero
+}
+
+// NewIntegral builds the summed-area table of src.
+func NewIntegral(src *Frame) *Integral {
+	w, h := src.Width(), src.Height()
+	ig := &Integral{w: w, h: h, sums: make([]uint64, (w+1)*(h+1))}
+	stride := w + 1
+	for y := 0; y < h; y++ {
+		row := src.Row(src.Bounds.Y0 + y)
+		var rowSum uint64
+		for x := 0; x < w; x++ {
+			rowSum += uint64(row[x])
+			ig.sums[(y+1)*stride+(x+1)] = ig.sums[y*stride+(x+1)] + rowSum
+		}
+	}
+	return ig
+}
+
+// Sum returns the pixel sum over the half-open rectangle [x0,x1) x [y0,y1)
+// in frame-local coordinates (0-based), clamped to the table's extent.
+func (ig *Integral) Sum(x0, y0, x1, y1 int) uint64 {
+	clamp := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	x0 = clamp(x0, 0, ig.w)
+	x1 = clamp(x1, 0, ig.w)
+	y0 = clamp(y0, 0, ig.h)
+	y1 = clamp(y1, 0, ig.h)
+	if x1 <= x0 || y1 <= y0 {
+		return 0
+	}
+	stride := ig.w + 1
+	return ig.sums[y1*stride+x1] - ig.sums[y0*stride+x1] -
+		ig.sums[y1*stride+x0] + ig.sums[y0*stride+x0]
+}
+
+// Mean returns the average pixel value over the rectangle (0 when empty).
+func (ig *Integral) Mean(x0, y0, x1, y1 int) float64 {
+	area := (x1 - x0) * (y1 - y0)
+	if area <= 0 {
+		return 0
+	}
+	return float64(ig.Sum(x0, y0, x1, y1)) / float64(area)
+}
+
+// Sobel computes the gradient-magnitude map with the 3x3 Sobel operator,
+// normalized into the 16-bit range.
+func Sobel(src *Frame) *Frame {
+	dst := New(src.Width(), src.Height())
+	dst.Bounds = src.Bounds
+	for y := src.Bounds.Y0; y < src.Bounds.Y1; y++ {
+		for x := src.Bounds.X0; x < src.Bounds.X1; x++ {
+			p := func(dx, dy int) float64 { return float64(src.AtClamped(x+dx, y+dy)) }
+			gx := -p(-1, -1) - 2*p(-1, 0) - p(-1, 1) + p(1, -1) + 2*p(1, 0) + p(1, 1)
+			gy := -p(-1, -1) - 2*p(0, -1) - p(1, -1) + p(-1, 1) + 2*p(0, 1) + p(1, 1)
+			// Scaled so a full-range step edge maps near the top of the
+			// range: max |g| is 4*65535 per axis.
+			v := math.Hypot(gx, gy) / (4 * 65535) * 65535
+			dst.Pix[(y-src.Bounds.Y0)*dst.Stride+(x-src.Bounds.X0)] = clamp16(v)
+		}
+	}
+	return dst
+}

@@ -1,0 +1,102 @@
+package frame
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WritePGM writes f as a binary 16-bit PGM (P5, maxval 65535, big-endian
+// samples per the Netpbm spec) so enhanced outputs from the examples can be
+// inspected with any image viewer.
+func WritePGM(w io.Writer, f *Frame) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n65535\n", f.Width(), f.Height()); err != nil {
+		return err
+	}
+	buf := make([]byte, 2*f.Width())
+	for y := f.Bounds.Y0; y < f.Bounds.Y1; y++ {
+		row := f.Row(y)
+		for i, v := range row {
+			binary.BigEndian.PutUint16(buf[2*i:], v)
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SavePGM writes f to the named file as 16-bit PGM.
+func SavePGM(path string, f *Frame) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	return WritePGM(file, f)
+}
+
+// ReadPGM parses a binary 16-bit PGM produced by WritePGM.
+func ReadPGM(r io.Reader) (*Frame, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	var w, h, maxval int
+	if _, err := fmt.Fscan(br, &magic, &w, &h, &maxval); err != nil {
+		return nil, err
+	}
+	if magic != "P5" {
+		return nil, errors.New("frame: not a P5 PGM")
+	}
+	if maxval != 65535 {
+		return nil, errors.New("frame: only 16-bit PGM supported")
+	}
+	if w <= 0 || h <= 0 || w*h > 1<<28 {
+		return nil, errors.New("frame: unreasonable PGM dimensions")
+	}
+	// Exactly one whitespace byte separates the header from the raster.
+	if _, err := br.ReadByte(); err != nil {
+		return nil, err
+	}
+	f := New(w, h)
+	buf := make([]byte, 2*w)
+	for y := 0; y < h; y++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		row := f.Pix[y*f.Stride : y*f.Stride+w]
+		for i := range row {
+			row[i] = binary.BigEndian.Uint16(buf[2*i:])
+		}
+	}
+	return f, nil
+}
+
+// RenderASCII returns a coarse ASCII rendering of f, downsampled to at most
+// (cols, rows) characters, dark pixels printed dense. Useful for terminal
+// demos in the examples.
+func RenderASCII(f *Frame, cols, rows int) string {
+	if f.Pixels() == 0 || cols <= 0 || rows <= 0 {
+		return ""
+	}
+	ramp := []byte("@%#*+=-:. ") // dark .. bright
+	small := Resize(f, cols, rows)
+	lo, hi := small.MinMax()
+	span := float64(hi-lo) + 1
+	out := make([]byte, 0, (cols+1)*rows)
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			v := float64(small.At(x, y)-lo) / span
+			idx := int(v * float64(len(ramp)))
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			out = append(out, ramp[idx])
+		}
+		out = append(out, '\n')
+	}
+	return string(out)
+}

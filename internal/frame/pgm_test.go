@@ -1,0 +1,114 @@
+package frame
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPGMRoundTrip(t *testing.T) {
+	f := New(7, 5)
+	for y := 0; y < 5; y++ {
+		for x := 0; x < 7; x++ {
+			f.Set(x, y, uint16(1000*y+x))
+		}
+	}
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Equal(g) {
+		t.Fatal("PGM round trip lost data")
+	}
+}
+
+func TestPGMHeader(t *testing.T) {
+	f := New(3, 2)
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "P5\n3 2\n65535\n") {
+		t.Fatalf("bad header: %q", buf.String()[:20])
+	}
+}
+
+func TestReadPGMRejectsBadMagic(t *testing.T) {
+	if _, err := ReadPGM(strings.NewReader("P2\n1 1\n65535\n0")); err == nil {
+		t.Fatal("expected magic error")
+	}
+}
+
+func TestReadPGMRejects8Bit(t *testing.T) {
+	if _, err := ReadPGM(strings.NewReader("P5\n1 1\n255\n\x00")); err == nil {
+		t.Fatal("expected maxval error")
+	}
+}
+
+func TestReadPGMRejectsBadDims(t *testing.T) {
+	if _, err := ReadPGM(strings.NewReader("P5\n0 5\n65535\n")); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestReadPGMTruncated(t *testing.T) {
+	if _, err := ReadPGM(strings.NewReader("P5\n4 4\n65535\n\x00\x01")); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestSavePGM(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.pgm")
+	f := New(4, 4)
+	f.Fill(9999)
+	if err := SavePGM(path, f); err != nil {
+		t.Fatal(err)
+	}
+	file, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	g, err := ReadPGM(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Equal(g) {
+		t.Fatal("file round trip lost data")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	f := New(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 32; x++ {
+			f.Set(x, y, 60000) // bright left half
+		}
+	}
+	s := RenderASCII(f, 16, 8)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 8 || len(lines[0]) != 16 {
+		t.Fatalf("ASCII geometry wrong: %d lines, %d cols", len(lines), len(lines[0]))
+	}
+	// Bright left should use the light end of the ramp, dark right the dense end.
+	if lines[4][0] == lines[4][15] {
+		t.Fatal("ASCII render shows no contrast")
+	}
+}
+
+func TestRenderASCIIEmpty(t *testing.T) {
+	var empty Frame
+	if RenderASCII(&empty, 10, 10) != "" {
+		t.Fatal("empty frame must render empty string")
+	}
+	if RenderASCII(New(4, 4), 0, 3) != "" {
+		t.Fatal("zero cols must render empty string")
+	}
+}

@@ -1,0 +1,415 @@
+// Package markov implements the short-term part of Triple-C's
+// computation-time model (paper Section 4): a first-order finite-state
+// Markov chain over adaptively quantized processing-time values.
+//
+// Following the paper:
+//
+//   - the base state count is M = Cmax/sigmaC (largest measured value over
+//     the standard deviation), and the model uses approximately 2M states
+//     for sufficient accuracy;
+//   - "the quantization intervals are adaptively chosen such that each
+//     interval contains on the average the same amount of samples"
+//     (equal-frequency quantization);
+//   - the transition probabilities are estimated by Eq. 2,
+//     Pij = nij / sum_k nik.
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"triplec/internal/stats"
+)
+
+// Quantizer maps continuous values to discrete states via equal-frequency
+// intervals.
+type Quantizer struct {
+	// cuts[i] is the upper boundary of state i; the last state is unbounded.
+	cuts []float64
+	// rep[i] is the representative value of state i (mean of its training
+	// samples), used to turn state predictions back into values.
+	rep []float64
+}
+
+// StateCountRule returns the paper's state count for a series: twice
+// M = Cmax/sigma, clamped to [2, maxStates]. For residual series (centered
+// near zero) Cmax is the largest absolute value.
+func StateCountRule(xs []float64, maxStates int) int {
+	if len(xs) < 2 {
+		return 2
+	}
+	sigma := stats.StdDev(xs)
+	if sigma == 0 {
+		return 2
+	}
+	cmax := 0.0
+	for _, x := range xs {
+		if a := math.Abs(x); a > cmax {
+			cmax = a
+		}
+	}
+	m := int(math.Round(cmax / sigma))
+	n := 2 * m
+	if n < 2 {
+		n = 2
+	}
+	if maxStates >= 2 && n > maxStates {
+		n = maxStates
+	}
+	return n
+}
+
+// NewQuantizer builds an equal-frequency quantizer with n states from the
+// training samples. n is clamped to the number of distinct sample positions
+// available.
+func NewQuantizer(samples []float64, n int) (*Quantizer, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("markov: no samples")
+	}
+	if n < 1 {
+		return nil, errors.New("markov: need at least one state")
+	}
+	if n > len(samples) {
+		n = len(samples)
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+
+	q := &Quantizer{}
+	// Equal-frequency boundaries: split the sorted samples into n runs,
+	// cutting halfway between the bordering samples so boundary values
+	// classify stably.
+	for i := 1; i < n; i++ {
+		idx := i * len(sorted) / n
+		cut := sorted[idx]
+		if idx > 0 {
+			cut = (sorted[idx-1] + sorted[idx]) / 2
+		}
+		q.cuts = append(q.cuts, cut)
+	}
+	// Deduplicate boundaries (ties collapse states) and drop a boundary at
+	// the sample maximum, which would create an empty top state.
+	q.cuts = dedupe(q.cuts)
+	if len(q.cuts) > 0 && q.cuts[len(q.cuts)-1] >= sorted[len(sorted)-1] {
+		q.cuts = q.cuts[:len(q.cuts)-1]
+	}
+	// Representatives: mean of the samples in each interval.
+	k := len(q.cuts) + 1
+	sums := make([]float64, k)
+	counts := make([]int, k)
+	for _, x := range samples {
+		s := q.State(x)
+		sums[s] += x
+		counts[s]++
+	}
+	q.rep = make([]float64, k)
+	for i := range q.rep {
+		if counts[i] > 0 {
+			q.rep[i] = sums[i] / float64(counts[i])
+		} else if i > 0 {
+			q.rep[i] = q.rep[i-1]
+		}
+	}
+	return q, nil
+}
+
+func dedupe(cuts []float64) []float64 {
+	out := cuts[:0]
+	for i, c := range cuts {
+		if i == 0 || c > out[len(out)-1] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// States returns the number of discrete states.
+func (q *Quantizer) States() int { return len(q.cuts) + 1 }
+
+// State maps a value to its state index via binary search.
+func (q *Quantizer) State(x float64) int {
+	return sort.SearchFloat64s(q.cuts, x)
+}
+
+// Representative returns the value representing state s.
+func (q *Quantizer) Representative(s int) float64 {
+	if s < 0 {
+		s = 0
+	}
+	if s >= len(q.rep) {
+		s = len(q.rep) - 1
+	}
+	return q.rep[s]
+}
+
+// Chain is a first-order Markov chain over quantizer states.
+type Chain struct {
+	q      *Quantizer
+	counts [][]float64 // nij transition counts (float to allow decay later)
+}
+
+// NewChain returns an untrained chain over q's states.
+func NewChain(q *Quantizer) (*Chain, error) {
+	if q == nil {
+		return nil, errors.New("markov: nil quantizer")
+	}
+	n := q.States()
+	counts := make([][]float64, n)
+	for i := range counts {
+		counts[i] = make([]float64, n)
+	}
+	return &Chain{q: q, counts: counts}, nil
+}
+
+// Train builds a quantizer (with the paper's state-count rule capped at
+// maxStates; pass 0 for the paper's default cap of 10 as in Table 2a) and a
+// chain from one or more training series. Transitions are only counted
+// within each series, never across series boundaries.
+func Train(series [][]float64, maxStates int) (*Chain, error) {
+	if maxStates <= 0 {
+		maxStates = 10
+	}
+	var all []float64
+	for _, s := range series {
+		all = append(all, s...)
+	}
+	if len(all) < 2 {
+		return nil, errors.New("markov: insufficient training data")
+	}
+	n := StateCountRule(all, maxStates)
+	q, err := NewQuantizer(all, n)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewChain(q)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range series {
+		c.AddSeries(s)
+	}
+	return c, nil
+}
+
+// AddSeries counts the transitions of one contiguous series.
+func (c *Chain) AddSeries(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		c.AddTransition(xs[i-1], xs[i])
+	}
+}
+
+// AddTransition counts a single observed transition from value a to value b
+// (this is the online-training hook the paper's profiling step uses).
+func (c *Chain) AddTransition(a, b float64) {
+	c.counts[c.q.State(a)][c.q.State(b)]++
+}
+
+// Decay multiplies every transition count by factor in (0, 1], discounting
+// old observations so on-line training can track non-stationary behaviour.
+// Applying Decay periodically turns the count matrix into an exponentially
+// weighted transition estimate. A factor outside (0, 1] is ignored.
+func (c *Chain) Decay(factor float64) {
+	if factor <= 0 || factor > 1 {
+		return
+	}
+	for i := range c.counts {
+		for j := range c.counts[i] {
+			c.counts[i][j] *= factor
+		}
+	}
+}
+
+// TotalTransitions returns the (possibly decayed) total transition mass.
+func (c *Chain) TotalTransitions() float64 {
+	total := 0.0
+	for i := range c.counts {
+		for j := range c.counts[i] {
+			total += c.counts[i][j]
+		}
+	}
+	return total
+}
+
+// States returns the chain's state count.
+func (c *Chain) States() int { return c.q.States() }
+
+// Quantizer exposes the chain's quantizer.
+func (c *Chain) Quantizer() *Quantizer { return c.q }
+
+// P returns the transition probability from state i to state j per Eq. 2:
+// Pij = nij / sum_k nik. Rows without observations fall back to uniform.
+func (c *Chain) P(i, j int) float64 {
+	row := c.counts[i]
+	total := 0.0
+	for _, v := range row {
+		total += v
+	}
+	if total == 0 {
+		return 1 / float64(len(row))
+	}
+	return row[j] / total
+}
+
+// Matrix returns the full transition-probability matrix (Table 2a).
+func (c *Chain) Matrix() [][]float64 {
+	n := c.States()
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			out[i][j] = c.P(i, j)
+		}
+	}
+	return out
+}
+
+// ExpectedNext returns the expected value of the next sample given the
+// current value x: sum_j P(state(x), j) * representative(j).
+func (c *Chain) ExpectedNext(x float64) float64 {
+	i := c.q.State(x)
+	exp := 0.0
+	for j := 0; j < c.States(); j++ {
+		exp += c.P(i, j) * c.q.Representative(j)
+	}
+	return exp
+}
+
+// MostLikelyNext returns the representative of the most probable next state.
+func (c *Chain) MostLikelyNext(x float64) float64 {
+	i := c.q.State(x)
+	best, bestP := 0, -1.0
+	for j := 0; j < c.States(); j++ {
+		if p := c.P(i, j); p > bestP {
+			best, bestP = j, p
+		}
+	}
+	return c.q.Representative(best)
+}
+
+// Stationary returns the stationary distribution of the chain, computed by
+// power iteration. It errors when the iteration does not converge (e.g. a
+// strictly periodic chain).
+func (c *Chain) Stationary() ([]float64, error) {
+	n := c.States()
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	next := make([]float64, n)
+	for iter := 0; iter < 10000; iter++ {
+		for j := range next {
+			next[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			if pi[i] == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				next[j] += pi[i] * c.P(i, j)
+			}
+		}
+		delta := 0.0
+		for j := range next {
+			delta += math.Abs(next[j] - pi[j])
+		}
+		copy(pi, next)
+		if delta < 1e-12 {
+			return pi, nil
+		}
+	}
+	return nil, errors.New("markov: stationary distribution did not converge")
+}
+
+// EntropyRate returns the chain's entropy rate in bits:
+// H = -sum_i pi_i sum_j P_ij log2 P_ij, with pi the stationary
+// distribution. Lower entropy means the chain's next state is more
+// predictable — a diagnostic for how much the Markov model can ever help.
+func (c *Chain) EntropyRate() (float64, error) {
+	pi, err := c.Stationary()
+	if err != nil {
+		return 0, err
+	}
+	h := 0.0
+	for i := 0; i < c.States(); i++ {
+		rowH := 0.0
+		for j := 0; j < c.States(); j++ {
+			p := c.P(i, j)
+			if p > 0 {
+				rowH -= p * math.Log2(p)
+			}
+		}
+		h += pi[i] * rowH
+	}
+	return h, nil
+}
+
+// Snapshot exports the quantizer's boundaries and representatives for
+// persistence.
+func (q *Quantizer) Snapshot() (cuts, reps []float64) {
+	return append([]float64(nil), q.cuts...), append([]float64(nil), q.rep...)
+}
+
+// RestoreQuantizer rebuilds a quantizer from a Snapshot.
+func RestoreQuantizer(cuts, reps []float64) (*Quantizer, error) {
+	if len(reps) != len(cuts)+1 {
+		return nil, errors.New("markov: reps must have exactly one more entry than cuts")
+	}
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] <= cuts[i-1] {
+			return nil, errors.New("markov: cuts must be strictly increasing")
+		}
+	}
+	return &Quantizer{
+		cuts: append([]float64(nil), cuts...),
+		rep:  append([]float64(nil), reps...),
+	}, nil
+}
+
+// Counts exports a copy of the transition-count matrix for persistence.
+func (c *Chain) Counts() [][]float64 {
+	out := make([][]float64, len(c.counts))
+	for i, row := range c.counts {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// RestoreChain rebuilds a chain from a quantizer and a count matrix.
+func RestoreChain(q *Quantizer, counts [][]float64) (*Chain, error) {
+	c, err := NewChain(q)
+	if err != nil {
+		return nil, err
+	}
+	if len(counts) != q.States() {
+		return nil, errors.New("markov: count matrix does not match state count")
+	}
+	for i, row := range counts {
+		if len(row) != q.States() {
+			return nil, errors.New("markov: count matrix not square")
+		}
+		copy(c.counts[i], row)
+	}
+	return c, nil
+}
+
+// Render prints the transition matrix in the paper's Table 2a layout.
+func (c *Chain) Render() string {
+	n := c.States()
+	var b strings.Builder
+	b.WriteString("    ")
+	for j := 0; j < n; j++ {
+		fmt.Fprintf(&b, "   s%-3d", j)
+	}
+	b.WriteByte('\n')
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "s%-3d", i)
+		for j := 0; j < n; j++ {
+			fmt.Fprintf(&b, "  %.2f ", c.P(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

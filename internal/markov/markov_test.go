@@ -1,0 +1,539 @@
+package markov
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"triplec/internal/stats"
+)
+
+func TestStateCountRule(t *testing.T) {
+	// Series with Cmax/sigma = 2 -> 2M = 4 states.
+	xs := []float64{-2, -1, 0, 1, 2, -2, 2, 0, 1, -1}
+	sigma := stats.StdDev(xs)
+	want := 2 * int(math.Round(2/sigma))
+	if got := StateCountRule(xs, 100); got != want {
+		t.Fatalf("StateCountRule = %d, want %d", got, want)
+	}
+}
+
+func TestStateCountRuleClamps(t *testing.T) {
+	if StateCountRule(nil, 10) != 2 {
+		t.Fatal("empty series must give 2 states")
+	}
+	if StateCountRule([]float64{5, 5, 5}, 10) != 2 {
+		t.Fatal("constant series must give 2 states")
+	}
+	// A heavy-tailed series would want many states; the cap must bite.
+	xs := make([]float64, 100)
+	xs[0] = 1000
+	if got := StateCountRule(xs, 10); got != 10 {
+		t.Fatalf("cap ignored: %d", got)
+	}
+}
+
+func TestQuantizerEqualFrequency(t *testing.T) {
+	// 100 uniform samples, 4 states: each interval must hold ~25 samples.
+	rng := stats.NewRNG(5)
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = rng.Float64()
+	}
+	q, err := NewQuantizer(samples, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.States() != 4 {
+		t.Fatalf("states = %d, want 4", q.States())
+	}
+	counts := make([]int, 4)
+	for _, s := range samples {
+		counts[q.State(s)]++
+	}
+	for i, c := range counts {
+		if c < 15 || c > 35 {
+			t.Fatalf("interval %d holds %d samples, want ~25 (equal frequency)", i, c)
+		}
+	}
+}
+
+func TestQuantizerDegenerateTies(t *testing.T) {
+	// All-equal samples collapse to a single state without error.
+	q, err := NewQuantizer([]float64{7, 7, 7, 7}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.States() != 1 {
+		t.Fatalf("tied samples must collapse: %d states", q.States())
+	}
+	if q.Representative(0) != 7 {
+		t.Fatalf("representative = %v, want 7", q.Representative(0))
+	}
+}
+
+func TestQuantizerValidation(t *testing.T) {
+	if _, err := NewQuantizer(nil, 3); err == nil {
+		t.Fatal("empty samples accepted")
+	}
+	if _, err := NewQuantizer([]float64{1}, 0); err == nil {
+		t.Fatal("zero states accepted")
+	}
+}
+
+func TestQuantizerStateMonotone(t *testing.T) {
+	q, err := NewQuantizer([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	for x := 0.0; x <= 9; x += 0.25 {
+		s := q.State(x)
+		if s < prev {
+			t.Fatalf("State not monotone at %v", x)
+		}
+		prev = s
+	}
+}
+
+func TestQuantizerRepresentativeClamps(t *testing.T) {
+	q, _ := NewQuantizer([]float64{1, 2, 3, 4}, 2)
+	if q.Representative(-5) != q.Representative(0) {
+		t.Fatal("negative state must clamp")
+	}
+	if q.Representative(99) != q.Representative(q.States()-1) {
+		t.Fatal("overflow state must clamp")
+	}
+}
+
+func TestChainEq2Probabilities(t *testing.T) {
+	// Hand-built transitions: states {0:low, 1:high} with cut at 5.
+	q, err := NewQuantizer([]float64{0, 1, 2, 9, 10, 11}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// low->low twice, low->high once.
+	c.AddTransition(1, 2)
+	c.AddTransition(2, 1)
+	c.AddTransition(1, 10)
+	if got := c.P(0, 0); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("P(0,0) = %v, want 2/3 (Eq. 2)", got)
+	}
+	if got := c.P(0, 1); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("P(0,1) = %v, want 1/3", got)
+	}
+}
+
+func TestChainUnseenRowUniform(t *testing.T) {
+	q, _ := NewQuantizer([]float64{0, 10}, 2)
+	c, _ := NewChain(q)
+	if got := c.P(1, 0); got != 0.5 {
+		t.Fatalf("unseen row must be uniform, got %v", got)
+	}
+}
+
+func TestChainNilQuantizer(t *testing.T) {
+	if _, err := NewChain(nil); err == nil {
+		t.Fatal("nil quantizer accepted")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, 10); err == nil {
+		t.Fatal("no data accepted")
+	}
+	if _, err := Train([][]float64{{1}}, 10); err == nil {
+		t.Fatal("single sample accepted")
+	}
+}
+
+func TestTrainDoesNotCrossSeries(t *testing.T) {
+	// Two series whose concatenation would create a low->high transition;
+	// training must not count it.
+	q, err := NewQuantizer([]float64{0, 0, 0, 100, 100, 100}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := NewChain(q)
+	c.AddSeries([]float64{0, 0, 0})
+	c.AddSeries([]float64{100, 100, 100})
+	if got := c.P(0, 1); got != 0 {
+		t.Fatalf("cross-series transition counted: P(0,1) = %v", got)
+	}
+}
+
+func TestMatrixRowsSumToOne(t *testing.T) {
+	rng := stats.NewRNG(9)
+	series := make([]float64, 2000)
+	for i := 1; i < len(series); i++ {
+		series[i] = 0.7*series[i-1] + rng.Norm(0, 1)
+	}
+	c, err := Train([][]float64{series}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range c.Matrix() {
+		sum := 0.0
+		for _, p := range row {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestExpectedNextTracksAR1(t *testing.T) {
+	// For a strongly autocorrelated process, predicting with the chain must
+	// clearly beat predicting the global mean.
+	rng := stats.NewRNG(21)
+	series := make([]float64, 5000)
+	for i := 1; i < len(series); i++ {
+		series[i] = 0.9*series[i-1] + rng.Norm(0, 1)
+	}
+	train, test := series[:4000], series[4000:]
+	c, err := Train([][]float64{train}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := stats.Mean(train)
+	var chainErr, meanErr float64
+	for i := 1; i < len(test); i++ {
+		chainErr += math.Abs(c.ExpectedNext(test[i-1]) - test[i])
+		meanErr += math.Abs(mean - test[i])
+	}
+	if chainErr >= meanErr*0.75 {
+		t.Fatalf("chain prediction (%v) must beat mean prediction (%v) by >25%%", chainErr, meanErr)
+	}
+}
+
+func TestMostLikelyNext(t *testing.T) {
+	q, _ := NewQuantizer([]float64{0, 0, 10, 10}, 2)
+	c, _ := NewChain(q)
+	// 0 always goes to 10.
+	c.AddTransition(0, 10)
+	c.AddTransition(0, 10)
+	got := c.MostLikelyNext(0)
+	if got != q.Representative(1) {
+		t.Fatalf("MostLikelyNext = %v, want high representative", got)
+	}
+}
+
+func TestStationaryUniformChain(t *testing.T) {
+	q, _ := NewQuantizer([]float64{0, 10}, 2)
+	c, _ := NewChain(q) // untrained -> uniform rows
+	pi, err := c.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[0]-0.5) > 1e-9 || math.Abs(pi[1]-0.5) > 1e-9 {
+		t.Fatalf("stationary = %v, want uniform", pi)
+	}
+}
+
+func TestStationarySumsToOne(t *testing.T) {
+	rng := stats.NewRNG(33)
+	series := make([]float64, 3000)
+	for i := 1; i < len(series); i++ {
+		series[i] = 0.5*series[i-1] + rng.Norm(0, 2)
+	}
+	c, err := Train([][]float64{series}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := c.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, p := range pi {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("stationary sums to %v", sum)
+	}
+}
+
+func TestRenderTable2aLayout(t *testing.T) {
+	rng := stats.NewRNG(44)
+	series := make([]float64, 3000)
+	for i := 1; i < len(series); i++ {
+		series[i] = 0.8*series[i-1] + rng.Norm(0, 1)
+	}
+	c, err := Train([][]float64{series}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.Render()
+	if !strings.Contains(out, "s0") {
+		t.Fatalf("render missing state labels:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != c.States()+1 {
+		t.Fatalf("render has %d lines, want %d", len(lines), c.States()+1)
+	}
+}
+
+// Property: every value maps to a valid state, and representatives are
+// ordered (monotone quantizer).
+func TestPropertyQuantizerSane(t *testing.T) {
+	f := func(raw []int16, nRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		n := int(nRaw)%12 + 1
+		samples := make([]float64, len(raw))
+		for i, v := range raw {
+			samples[i] = float64(v)
+		}
+		q, err := NewQuantizer(samples, n)
+		if err != nil {
+			return false
+		}
+		prevRep := math.Inf(-1)
+		for s := 0; s < q.States(); s++ {
+			r := q.Representative(s)
+			if r < prevRep-1e-9 {
+				return false
+			}
+			prevRep = r
+		}
+		for _, x := range samples {
+			s := q.State(x)
+			if s < 0 || s >= q.States() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Eq. 2 rows always sum to 1 after arbitrary transitions.
+func TestPropertyRowsNormalized(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		samples := make([]float64, len(raw))
+		for i, v := range raw {
+			samples[i] = float64(v)
+		}
+		c, err := Train([][]float64{samples}, 6)
+		if err != nil {
+			return true // degenerate inputs may fail training; not a bug
+		}
+		for i := 0; i < c.States(); i++ {
+			sum := 0.0
+			for j := 0; j < c.States(); j++ {
+				sum += c.P(i, j)
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecayDiscountsOldTransitions(t *testing.T) {
+	q, err := NewQuantizer([]float64{0, 0, 10, 10}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Old regime: 0 -> 0 persistent.
+	for i := 0; i < 100; i++ {
+		c.AddTransition(0, 0)
+	}
+	before := c.P(0, 0)
+	// Decay heavily, then observe the new regime: 0 -> 10.
+	c.Decay(0.05)
+	for i := 0; i < 20; i++ {
+		c.AddTransition(0, 10)
+	}
+	if c.P(0, 1) <= 0.5 {
+		t.Fatalf("decayed chain must adapt: P(0,1) = %v (P(0,0) was %v)", c.P(0, 1), before)
+	}
+}
+
+func TestDecayIgnoresBadFactor(t *testing.T) {
+	q, _ := NewQuantizer([]float64{0, 10}, 2)
+	c, _ := NewChain(q)
+	c.AddTransition(0, 10)
+	mass := c.TotalTransitions()
+	c.Decay(0)
+	c.Decay(-1)
+	c.Decay(2)
+	if c.TotalTransitions() != mass {
+		t.Fatal("invalid decay factors must be ignored")
+	}
+	c.Decay(0.5)
+	if math.Abs(c.TotalTransitions()-mass/2) > 1e-12 {
+		t.Fatal("valid decay must halve the mass")
+	}
+}
+
+func TestDecayPreservesRowNormalization(t *testing.T) {
+	rng := stats.NewRNG(77)
+	series := make([]float64, 500)
+	for i := 1; i < len(series); i++ {
+		series[i] = 0.6*series[i-1] + rng.Norm(0, 1)
+	}
+	c, err := Train([][]float64{series}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Decay(0.3)
+	for i := 0; i < c.States(); i++ {
+		sum := 0.0
+		for j := 0; j < c.States(); j++ {
+			sum += c.P(i, j)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v after decay", i, sum)
+		}
+	}
+}
+
+func TestEntropyRateDeterministicChain(t *testing.T) {
+	// A strictly alternating chain is fully predictable: entropy 0.
+	q, _ := NewQuantizer([]float64{0, 0, 10, 10}, 2)
+	c, _ := NewChain(q)
+	for i := 0; i < 50; i++ {
+		c.AddTransition(0, 10)
+		c.AddTransition(10, 0)
+	}
+	h, err := c.EntropyRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h > 1e-9 {
+		t.Fatalf("deterministic chain entropy = %v, want 0", h)
+	}
+}
+
+func TestEntropyRateUniformChain(t *testing.T) {
+	// An untrained (uniform) 2-state chain has 1 bit of entropy per step.
+	q, _ := NewQuantizer([]float64{0, 10}, 2)
+	c, _ := NewChain(q)
+	h, err := c.EntropyRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-1) > 1e-9 {
+		t.Fatalf("uniform 2-state entropy = %v, want 1 bit", h)
+	}
+}
+
+func TestEntropyRateOrdering(t *testing.T) {
+	// A strongly autocorrelated series must yield lower entropy than an
+	// independent one.
+	rng := stats.NewRNG(91)
+	ar := make([]float64, 4000)
+	iid := make([]float64, 4000)
+	for i := 1; i < len(ar); i++ {
+		ar[i] = 0.95*ar[i-1] + rng.Norm(0, 1)
+		iid[i] = rng.Norm(0, 1)
+	}
+	cAR, err := Train([][]float64{ar}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cIID, err := Train([][]float64{iid}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hAR, err := cAR.EntropyRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hIID, err := cIID.EntropyRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hAR >= hIID {
+		t.Fatalf("AR entropy %v must be below IID entropy %v", hAR, hIID)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(55)
+	series := make([]float64, 1000)
+	for i := 1; i < len(series); i++ {
+		series[i] = 0.7*series[i-1] + rng.Norm(0, 1)
+	}
+	c, err := Train([][]float64{series}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts, reps := c.Quantizer().Snapshot()
+	q2, err := RestoreQuantizer(cuts, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := RestoreChain(q2, c.Counts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical predictions over a probe grid.
+	for x := -5.0; x <= 5; x += 0.5 {
+		if math.Abs(c.ExpectedNext(x)-c2.ExpectedNext(x)) > 1e-12 {
+			t.Fatalf("restored chain differs at %v", x)
+		}
+	}
+}
+
+func TestRestoreQuantizerValidation(t *testing.T) {
+	if _, err := RestoreQuantizer([]float64{1, 2}, []float64{0, 1}); err == nil {
+		t.Fatal("reps/cuts length mismatch accepted")
+	}
+	if _, err := RestoreQuantizer([]float64{2, 1}, []float64{0, 1, 2}); err == nil {
+		t.Fatal("non-increasing cuts accepted")
+	}
+	if _, err := RestoreQuantizer([]float64{1, 2}, []float64{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoreChainValidation(t *testing.T) {
+	q, err := RestoreQuantizer([]float64{5}, []float64{0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreChain(q, [][]float64{{1, 0}}); err == nil {
+		t.Fatal("wrong row count accepted")
+	}
+	if _, err := RestoreChain(q, [][]float64{{1}, {0}}); err == nil {
+		t.Fatal("non-square matrix accepted")
+	}
+	if _, err := RestoreChain(q, [][]float64{{1, 0}, {0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	q, _ := NewQuantizer([]float64{1, 2, 3, 4}, 2)
+	cuts, reps := q.Snapshot()
+	if len(cuts) > 0 {
+		cuts[0] = 9999
+	}
+	reps[0] = 9999
+	cuts2, reps2 := q.Snapshot()
+	if (len(cuts) > 0 && cuts2[0] == 9999) || reps2[0] == 9999 {
+		t.Fatal("Snapshot must copy")
+	}
+}

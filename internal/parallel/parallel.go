@@ -1,0 +1,156 @@
+// Package parallel provides the real shared-memory execution layer behind
+// the reproduction's data-parallel striping: a bounded worker pool and
+// stripe/for helpers built on goroutines. The machine model in
+// internal/platform answers "how long would this take on the paper's 2007
+// platform"; this package actually runs the pixel work concurrently on the
+// host, and the wall-clock benchmarks in bench_test.go validate that the
+// striping the runtime manager plans really scales the way the model
+// assumes.
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// ForStripes splits the half-open index range [0, n) into k contiguous
+// stripes and runs fn(stripe, lo, hi) concurrently, one goroutine per
+// stripe. It blocks until every stripe completes. k is clamped to [1, n]
+// (for n > 0); n <= 0 is a no-op.
+func ForStripes(n, k int, fn func(stripe, lo, hi int)) {
+	if n <= 0 || fn == nil {
+		return
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	if k == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(k)
+	for s := 0; s < k; s++ {
+		lo := s * n / k
+		hi := (s + 1) * n / k
+		go func(stripe, lo, hi int) {
+			defer wg.Done()
+			fn(stripe, lo, hi)
+		}(s, lo, hi)
+	}
+	wg.Wait()
+}
+
+// Map applies fn to every index of [0, n) using up to k workers pulling
+// from a shared queue (good for unevenly sized items where static striping
+// would load-imbalance).
+func Map(n, k int, fn func(i int)) {
+	if n <= 0 || fn == nil {
+		return
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	if k == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var mu sync.Mutex
+	take := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= int64(n) {
+			return 0, false
+		}
+		i := int(next)
+		next++
+		return i, true
+	}
+	var wg sync.WaitGroup
+	wg.Add(k)
+	for w := 0; w < k; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := take()
+				if !ok {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Pool is a reusable fixed-size worker pool. Submissions run on the pool's
+// goroutines; Wait blocks until all submitted work has drained. The zero
+// value is not usable; construct with NewPool and release with Close.
+type Pool struct {
+	jobs    chan func()
+	wg      sync.WaitGroup // tracks in-flight jobs
+	workers sync.WaitGroup // tracks worker goroutines
+	closed  bool
+	mu      sync.Mutex
+}
+
+// NewPool starts a pool with k workers (k < 1 defaults to GOMAXPROCS).
+func NewPool(k int) *Pool {
+	if k < 1 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{jobs: make(chan func(), k*2)}
+	p.workers.Add(k)
+	for i := 0; i < k; i++ {
+		go func() {
+			defer p.workers.Done()
+			for job := range p.jobs {
+				job()
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit queues one job. It returns an error after Close.
+func (p *Pool) Submit(job func()) error {
+	if job == nil {
+		return errors.New("parallel: nil job")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return errors.New("parallel: pool closed")
+	}
+	p.wg.Add(1)
+	p.jobs <- job
+	return nil
+}
+
+// Wait blocks until every job submitted so far has finished.
+func (p *Pool) Wait() { p.wg.Wait() }
+
+// Close drains the pool and stops the workers. Idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.wg.Wait()
+	close(p.jobs)
+	p.workers.Wait()
+}

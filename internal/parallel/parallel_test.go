@@ -1,0 +1,185 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForStripesCoversRangeExactlyOnce(t *testing.T) {
+	const n = 1000
+	var hits [n]int32
+	ForStripes(n, 7, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestForStripesStripeIndices(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	ForStripes(100, 4, func(stripe, lo, hi int) {
+		mu.Lock()
+		seen[stripe] = true
+		mu.Unlock()
+		if hi <= lo {
+			t.Errorf("stripe %d empty: [%d,%d)", stripe, lo, hi)
+		}
+	})
+	if len(seen) != 4 {
+		t.Fatalf("stripes run = %d, want 4", len(seen))
+	}
+}
+
+func TestForStripesClamps(t *testing.T) {
+	// k > n must clamp; every index still visited once.
+	var count int32
+	ForStripes(3, 100, func(_, lo, hi int) {
+		atomic.AddInt32(&count, int32(hi-lo))
+	})
+	if count != 3 {
+		t.Fatalf("visited %d indices, want 3", count)
+	}
+	// Degenerates are no-ops.
+	ForStripes(0, 4, func(_, _, _ int) { t.Fatal("must not run") })
+	ForStripes(-5, 4, func(_, _, _ int) { t.Fatal("must not run") })
+	ForStripes(5, 2, nil)
+}
+
+func TestForStripesSerialPath(t *testing.T) {
+	calls := 0
+	ForStripes(10, 1, func(stripe, lo, hi int) {
+		calls++
+		if stripe != 0 || lo != 0 || hi != 10 {
+			t.Fatalf("serial stripe wrong: %d [%d,%d)", stripe, lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("serial path ran %d times", calls)
+	}
+}
+
+func TestMapVisitsAll(t *testing.T) {
+	const n = 500
+	var hits [n]int32
+	Map(n, 8, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestMapDegenerate(t *testing.T) {
+	Map(0, 4, func(int) { t.Fatal("must not run") })
+	Map(5, 3, nil)
+	count := 0
+	Map(4, 1, func(int) { count++ })
+	if count != 4 {
+		t.Fatalf("serial Map ran %d times", count)
+	}
+}
+
+func TestPoolRunsJobs(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var sum int64
+	for i := 1; i <= 100; i++ {
+		i := i
+		if err := p.Submit(func() { atomic.AddInt64(&sum, int64(i)) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Wait()
+	if sum != 5050 {
+		t.Fatalf("sum = %d, want 5050", sum)
+	}
+}
+
+func TestPoolReuseAfterWait(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var n int64
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 10; i++ {
+			if err := p.Submit(func() { atomic.AddInt64(&n, 1) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p.Wait()
+	}
+	if n != 30 {
+		t.Fatalf("jobs run = %d, want 30", n)
+	}
+}
+
+func TestPoolSubmitAfterClose(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	if err := p.Submit(func() {}); err == nil {
+		t.Fatal("submit after close accepted")
+	}
+	p.Close() // idempotent
+}
+
+func TestPoolNilJob(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	if err := p.Submit(nil); err == nil {
+		t.Fatal("nil job accepted")
+	}
+}
+
+func TestPoolDefaultSize(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	done := make(chan struct{})
+	if err := p.Submit(func() { close(done) }); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}
+
+// Property: for any n and k, stripes partition [0, n) without gaps or
+// overlaps and in order.
+func TestPropertyStripesPartition(t *testing.T) {
+	f := func(nRaw, kRaw uint8) bool {
+		n, k := int(nRaw), int(kRaw)%16+1
+		if n == 0 {
+			return true
+		}
+		type span struct{ lo, hi int }
+		var mu sync.Mutex
+		var spans []span
+		ForStripes(n, k, func(_, lo, hi int) {
+			mu.Lock()
+			spans = append(spans, span{lo, hi})
+			mu.Unlock()
+		})
+		covered := make([]bool, n)
+		for _, s := range spans {
+			for i := s.lo; i < s.hi; i++ {
+				if i < 0 || i >= n || covered[i] {
+					return false
+				}
+				covered[i] = true
+			}
+		}
+		for _, c := range covered {
+			if !c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+package partition
+
+import (
+	"strings"
+	"testing"
+
+	"triplec/internal/tasks"
+)
+
+func TestKindOf(t *testing.T) {
+	if KindOf(tasks.NameRDGFull) != DataParallel {
+		t.Fatal("RDG FULL must be data parallel")
+	}
+	if KindOf(tasks.NameCPLSSel) != FunctionParallel {
+		t.Fatal("CPLS SEL must be function parallel")
+	}
+	if KindOf(tasks.NameREG) != NotPartitionable {
+		t.Fatal("REG must be unpartitionable")
+	}
+	if KindOf(tasks.NameDetect) != NotPartitionable {
+		t.Fatal("detector must be unpartitionable")
+	}
+}
+
+func TestMaxStripes(t *testing.T) {
+	if MaxStripes(tasks.NameRDGFull, 8) != 8 {
+		t.Fatal("data-parallel max must equal core count")
+	}
+	if MaxStripes(tasks.NameGWExt, 8) != 2 {
+		t.Fatal("function-parallel max must be 2")
+	}
+	if MaxStripes(tasks.NameGWExt, 1) != 1 {
+		t.Fatal("single-core machine caps everything at 1")
+	}
+	if MaxStripes(tasks.NameREG, 8) != 1 {
+		t.Fatal("unpartitionable max must be 1")
+	}
+}
+
+func TestSerialMapping(t *testing.T) {
+	m := Serial()
+	for _, task := range tasks.AllNames() {
+		if m.StripesFor(task) != 1 {
+			t.Fatalf("serial mapping gives %s %d stripes", task, m.StripesFor(task))
+		}
+	}
+	if m.String() != "serial" {
+		t.Fatalf("String = %q", m.String())
+	}
+}
+
+func TestStripesForClamp(t *testing.T) {
+	m := Mapping{tasks.NameENH: 0}
+	if m.StripesFor(tasks.NameENH) != 1 {
+		t.Fatal("zero entry must clamp to 1")
+	}
+}
+
+func TestWithDoesNotMutate(t *testing.T) {
+	m := Serial()
+	n := m.With(tasks.NameRDGFull, 4)
+	if m.StripesFor(tasks.NameRDGFull) != 1 {
+		t.Fatal("With mutated the receiver")
+	}
+	if n.StripesFor(tasks.NameRDGFull) != 4 {
+		t.Fatal("With lost the entry")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := Mapping{tasks.NameRDGFull: 8, tasks.NameCPLSSel: 2}
+	if err := ok.Validate(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Mapping{tasks.NameRDGFull: 9}).Validate(8); err == nil {
+		t.Fatal("overscribed data-parallel task accepted")
+	}
+	if err := (Mapping{tasks.NameCPLSSel: 3}).Validate(8); err == nil {
+		t.Fatal("3-way functional split accepted")
+	}
+	if err := (Mapping{tasks.NameREG: 2}).Validate(8); err == nil {
+		t.Fatal("striped REG accepted")
+	}
+	if err := (Mapping{tasks.NameENH: 0}).Validate(8); err == nil {
+		t.Fatal("zero stripes accepted")
+	}
+	if err := Serial().Validate(0); err == nil {
+		t.Fatal("zero CPUs accepted")
+	}
+}
+
+func TestWorstMapping(t *testing.T) {
+	m := Worst(8)
+	if err := m.Validate(8); err != nil {
+		t.Fatal(err)
+	}
+	if m.StripesFor(tasks.NameRDGFull) != 8 {
+		t.Fatal("worst-case mapping must stripe RDG over all cores")
+	}
+	if m.StripesFor(tasks.NameCPLSSel) != 2 {
+		t.Fatal("worst-case mapping must split CPLS two ways")
+	}
+	if m.StripesFor(tasks.NameREG) != 1 {
+		t.Fatal("worst-case mapping must keep REG serial")
+	}
+}
+
+func TestTwoStripeRDG(t *testing.T) {
+	m := TwoStripeRDG()
+	if m.StripesFor(tasks.NameRDGFull) != 2 || m.StripesFor(tasks.NameRDGROI) != 2 {
+		t.Fatal("two-stripe mapping wrong")
+	}
+	if err := m.Validate(8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringLists(t *testing.T) {
+	m := Mapping{tasks.NameRDGFull: 4, tasks.NameZOOM: 2}
+	s := m.String()
+	if !strings.Contains(s, "RDG_FULL/4") || !strings.Contains(s, "ZOOM/2") {
+		t.Fatalf("String = %q", s)
+	}
+	if (Mapping{tasks.NameENH: 1}).String() != "serial" {
+		t.Fatal("all-ones mapping must print serial")
+	}
+}

@@ -1,0 +1,78 @@
+package platform
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: execution time is additive in compute cycles at fixed memory
+// traffic and contention.
+func TestPropertyExecAdditiveInCycles(t *testing.T) {
+	m, err := NewMachine(Blackford())
+	if err != nil {
+		t.Fatal(err)
+	}
+	overhead := m.CyclesToMs(m.Arch().SwitchCost)
+	f := func(aRaw, bRaw uint32) bool {
+		a := float64(aRaw % 1e8)
+		b := float64(bRaw % 1e8)
+		ta := m.ExecMs(Cost{Cycles: a}, 1) - overhead
+		tb := m.ExecMs(Cost{Cycles: b}, 1) - overhead
+		tab := m.ExecMs(Cost{Cycles: a + b}, 1) - overhead
+		return abs(tab-(ta+tb)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: striping never increases time for compute-only work, and never
+// beats the ideal k-fold speedup by more than the fork/join bookkeeping.
+func TestPropertyStripedBounded(t *testing.T) {
+	m, err := NewMachine(Blackford())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(cyclesRaw uint32, kRaw uint8) bool {
+		cycles := float64(cyclesRaw%1e9) + 1e7
+		k := int(kRaw)%8 + 1
+		serial := m.StripedMs(Cost{Cycles: cycles}, 1)
+		striped := m.StripedMs(Cost{Cycles: cycles}, k)
+		if striped > serial+1e-9 {
+			return false
+		}
+		ideal := serial / float64(k)
+		// The switch overhead is charged per stripe, so the striped time can
+		// not fall below the ideal split minus nothing (it is bounded below
+		// by ideal considering overhead stays constant in ExecMs).
+		return striped >= ideal-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: more contenders never speed up memory-bound work.
+func TestPropertyContentionMonotone(t *testing.T) {
+	m, err := NewMachine(Blackford())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(memRaw uint32, kRaw uint8) bool {
+		mem := float64(memRaw%1e9) + 1e6
+		k := int(kRaw)%8 + 1
+		base := m.ExecMs(Cost{MemBytes: mem}, k)
+		more := m.ExecMs(Cost{MemBytes: mem}, k+1)
+		return more >= base-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

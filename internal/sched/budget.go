@@ -1,0 +1,64 @@
+package sched
+
+import (
+	"errors"
+
+	"triplec/internal/stats"
+)
+
+// BudgetController adapts the latency budget at runtime. The paper fixes
+// the budget at initialization ("close to average case"); in practice the
+// initial frame may be unrepresentative, so this controller re-centers the
+// budget on a quantile of the recent processing latencies, bounded by a
+// slew-rate limit so the viewer never sees the output latency jump.
+type BudgetController struct {
+	// Quantile of the recent-latency window the budget should sit at
+	// (default 0.9: 90% of frames finish inside the budget without delay).
+	Quantile float64
+	// Window is the number of recent frames considered (default 60).
+	Window int
+	// MaxSlewMsPerFrame bounds how fast the budget may move (default 0.25).
+	MaxSlewMsPerFrame float64
+
+	recent []float64
+}
+
+// NewBudgetController returns a controller with the defaults above.
+func NewBudgetController() *BudgetController {
+	return &BudgetController{Quantile: 0.9, Window: 60, MaxSlewMsPerFrame: 0.25}
+}
+
+// Observe feeds one frame's processing latency and returns the recommended
+// budget given the current one. Before the window fills, the current budget
+// is kept.
+func (c *BudgetController) Observe(currentBudgetMs, processingMs float64) (float64, error) {
+	if c.Quantile <= 0 || c.Quantile > 1 {
+		return 0, errors.New("sched: budget quantile out of range")
+	}
+	if c.Window < 2 {
+		return 0, errors.New("sched: budget window too small")
+	}
+	c.recent = append(c.recent, processingMs)
+	if len(c.recent) > c.Window {
+		c.recent = c.recent[len(c.recent)-c.Window:]
+	}
+	if len(c.recent) < c.Window/2 {
+		return currentBudgetMs, nil
+	}
+	target, err := stats.Percentile(c.recent, c.Quantile*100)
+	if err != nil {
+		return currentBudgetMs, err
+	}
+	// Slew-limit toward the target.
+	delta := target - currentBudgetMs
+	if delta > c.MaxSlewMsPerFrame {
+		delta = c.MaxSlewMsPerFrame
+	}
+	if delta < -c.MaxSlewMsPerFrame {
+		delta = -c.MaxSlewMsPerFrame
+	}
+	return currentBudgetMs + delta, nil
+}
+
+// Reset clears the window.
+func (c *BudgetController) Reset() { c.recent = nil }

@@ -1,0 +1,157 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"triplec/internal/frame"
+	"triplec/internal/platform"
+)
+
+func TestBudgetControllerValidation(t *testing.T) {
+	c := NewBudgetController()
+	c.Quantile = 0
+	if _, err := c.Observe(40, 30); err == nil {
+		t.Fatal("zero quantile accepted")
+	}
+	c = NewBudgetController()
+	c.Window = 1
+	if _, err := c.Observe(40, 30); err == nil {
+		t.Fatal("tiny window accepted")
+	}
+}
+
+func TestBudgetControllerHoldsDuringWarmup(t *testing.T) {
+	c := NewBudgetController()
+	for i := 0; i < c.Window/2-1; i++ {
+		b, err := c.Observe(40, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b != 40 {
+			t.Fatalf("budget moved during warmup: %v", b)
+		}
+	}
+}
+
+func TestBudgetControllerConvergesUpward(t *testing.T) {
+	c := NewBudgetController()
+	budget := 30.0
+	// Steady 50 ms processing: the budget must climb toward the 90th
+	// percentile (50) at the slew rate.
+	for i := 0; i < 400; i++ {
+		var err error
+		budget, err = c.Observe(budget, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(budget-50) > 1 {
+		t.Fatalf("budget %v did not converge to 50", budget)
+	}
+}
+
+func TestBudgetControllerConvergesDownward(t *testing.T) {
+	c := NewBudgetController()
+	budget := 80.0
+	for i := 0; i < 400; i++ {
+		var err error
+		budget, err = c.Observe(budget, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(budget-40) > 1 {
+		t.Fatalf("budget %v did not converge down to 40", budget)
+	}
+}
+
+func TestBudgetControllerSlewLimited(t *testing.T) {
+	c := NewBudgetController()
+	budget := 30.0
+	// Fill the window first.
+	for i := 0; i < c.Window; i++ {
+		var err error
+		budget, err = c.Observe(budget, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := budget
+	after, err := c.Observe(budget, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := after - before; d > c.MaxSlewMsPerFrame+1e-9 {
+		t.Fatalf("budget jumped %v in one frame", d)
+	}
+}
+
+func TestBudgetControllerQuantileTracksTail(t *testing.T) {
+	// Bimodal latencies 20/60 at 9:1 — the 90th percentile sits near the
+	// low mode's top; with 50% at 60 it would sit at 60.
+	c := NewBudgetController()
+	budget := 40.0
+	for i := 0; i < 600; i++ {
+		lat := 20.0
+		if i%10 == 9 {
+			lat = 60
+		}
+		var err error
+		budget, err = c.Observe(budget, lat)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if budget < 20 || budget > 61 {
+		t.Fatalf("budget %v outside plausible quantile band", budget)
+	}
+}
+
+func TestBudgetControllerReset(t *testing.T) {
+	c := NewBudgetController()
+	for i := 0; i < c.Window; i++ {
+		if _, err := c.Observe(40, 90); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Reset()
+	b, err := c.Observe(40, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 40 {
+		t.Fatalf("post-reset budget moved immediately: %v", b)
+	}
+}
+
+func TestManagedRunWithAdaptiveBudget(t *testing.T) {
+	seq := synthSeq(t, 515151)
+	p := trainedPredictor(t)
+	mgr, err := NewManager(p, platform.Blackford())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.Budgeter = NewBudgetController()
+	res, err := RunManaged(newEngine(t), mgr, 100, func(i int) *frame.Frame {
+		f, _ := seq.Frame(i)
+		return f
+	}, 128*128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgr.BudgetMs <= 0 {
+		t.Fatalf("adaptive budget collapsed: %v", mgr.BudgetMs)
+	}
+	// The adapted system must stay stable: bounded overruns against the
+	// final budget.
+	over := 0
+	for _, pr := range res.Processing[50:] {
+		if pr > mgr.BudgetMs*1.5 {
+			over++
+		}
+	}
+	if over > 10 {
+		t.Fatalf("adaptive budget left %d gross overruns", over)
+	}
+}

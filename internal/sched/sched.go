@@ -1,0 +1,363 @@
+// Package sched implements the paper's Section 6: semi-automatic
+// parallelization driven by Triple-C predictions. A runtime manager
+// initializes a latency budget close to the average case, predicts the
+// resource consumption of every upcoming frame, repartitions the flow graph
+// on the fly (striping the streaming tasks, splitting the feature tasks
+// functionally) to keep the output latency stable at the budget, and feeds
+// the observed times back for profiling.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"triplec/internal/core"
+	"triplec/internal/flowgraph"
+	"triplec/internal/frame"
+	"triplec/internal/partition"
+	"triplec/internal/pipeline"
+	"triplec/internal/platform"
+	"triplec/internal/qos"
+	"triplec/internal/tasks"
+)
+
+// Decision is the manager's plan for one frame.
+type Decision struct {
+	Mapping     partition.Mapping
+	PredictedMs float64 // predicted latency under the chosen mapping
+	SerialMs    float64 // predicted latency of the serial mapping
+	Repartition bool    // true when the mapping differs from the previous frame's
+}
+
+// Manager is the runtime resource manager.
+type Manager struct {
+	predictor *core.Predictor
+	arch      platform.Arch
+	machine   *platform.Machine
+
+	// BudgetMs is the latency budget; 0 until initialized.
+	BudgetMs float64
+	// Headroom scales the budget check: a mapping is accepted when the
+	// predicted latency is below BudgetMs*Headroom (default 1.0).
+	Headroom float64
+	// Sticky keeps the previous frame's mapping whenever it still satisfies
+	// the predicted demand, avoiding repartitioning churn (on-the-fly
+	// repartitioning has a control cost the runtime manager should not pay
+	// without benefit).
+	Sticky bool
+	// Budgeter, when set, adapts BudgetMs at runtime from the observed
+	// processing latencies (see BudgetController). The paper fixes the
+	// budget at initialization; the controller re-centers it when the
+	// initial frame was unrepresentative.
+	Budgeter *BudgetController
+
+	switchMs    float64 // per-stripe fork/join overhead in ms
+	lastMapping partition.Mapping
+	coreBudget  int // cores this application may use; 0 = whole machine
+}
+
+// NewManager builds a manager around a trained predictor for the given
+// architecture.
+func NewManager(p *core.Predictor, arch platform.Arch) (*Manager, error) {
+	if p == nil {
+		return nil, errors.New("sched: nil predictor")
+	}
+	machine, err := platform.NewMachine(arch)
+	if err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
+	return &Manager{
+		predictor: p,
+		arch:      arch,
+		machine:   machine,
+		Headroom:  1.0,
+		switchMs:  machine.CyclesToMs(arch.SwitchCost),
+	}, nil
+}
+
+// Predictor exposes the wrapped predictor.
+func (m *Manager) Predictor() *core.Predictor { return m.predictor }
+
+// InitBudget sets the latency budget from the first processed frame per the
+// paper's initialization step: "the output latency is set to an initial
+// value (close to average case)". The manager takes the first frame's
+// serial latency scaled toward the average case.
+func (m *Manager) InitBudget(firstFrameMs float64) {
+	// The first frame runs at full granularity without an ROI; steady-state
+	// frames are cheaper. 85% of the first latency approximates the
+	// average case across scenarios.
+	m.BudgetMs = firstFrameMs * 0.85
+}
+
+// estStripedMs estimates the execution time of a task predicted to take
+// serialMs when striped over k cores: the compute part divides, each stripe
+// adds fork/join overhead, and the estimate keeps a conservative fraction
+// serial (memory traffic does not parallelize on a shared bus).
+func (m *Manager) estStripedMs(serialMs float64, k int) float64 {
+	if k <= 1 {
+		return serialMs
+	}
+	const serialFraction = 0.08 // bus-bound share that does not scale
+	par := serialMs * (1 - serialFraction)
+	return serialMs*serialFraction + par/float64(k) + m.switchMs
+}
+
+// MinScenarioP is the transition probability above which a successor
+// scenario is provisioned for when planning (pessimistic planning: a
+// plausible switch to an expensive scenario must not cause an overrun).
+const MinScenarioP = 0.04
+
+// Plan predicts the next frame and chooses a mapping that keeps the
+// predicted latency within the budget, striping the most expensive
+// partitionable tasks first. The per-task demand is the pessimistic maximum
+// over all plausible successor scenarios, so data-dependent switches do not
+// surprise the mapping. With no budget set it returns the serial mapping
+// (profiling mode).
+func (m *Manager) Plan() Decision {
+	pred := m.predictor.PredictNext()
+	serial := pred.TotalMs
+	dec := Decision{Mapping: partition.Serial(), PredictedMs: serial, SerialMs: serial}
+	if m.BudgetMs <= 0 {
+		m.rememberMapping(dec.Mapping)
+		return dec
+	}
+	budget := m.BudgetMs * m.Headroom
+
+	// Pessimistic per-task demand over the plausible successor scenarios.
+	// Every candidate is constrained to the physically determined
+	// granularity, and the (constrained) worst case is always provisioned:
+	// a mapping entry for a task that ends up not running costs nothing,
+	// while a missing entry for a task that does run causes an overrun.
+	ctx := m.predictor.NextContext()
+	var scenarios []flowgraph.Scenario
+	if last, ok := m.predictor.LastScenario(); ok {
+		for _, s := range m.predictor.Scenarios.Successors(last, MinScenarioP) {
+			scenarios = append(scenarios, m.predictor.ConstrainScenario(s))
+		}
+	}
+	scenarios = append(scenarios, m.predictor.ConstrainScenario(flowgraph.WorstCase()))
+	demand := map[tasks.Name]float64{}
+	for _, s := range scenarios {
+		for task, ms := range m.predictor.PredictTasksFor(s, ctx) {
+			if ms > demand[task] {
+				demand[task] = ms
+			}
+		}
+	}
+
+	// Hysteresis: when the previous mapping still meets the budget for the
+	// current demand, keep it verbatim.
+	if m.Sticky && m.lastMapping != nil {
+		total := 0.0
+		for task, ms := range demand {
+			total += m.estStripedMs(ms, m.lastMapping.StripesFor(task))
+		}
+		if total <= budget {
+			dec.Mapping = m.lastMapping
+			dec.PredictedMs = total
+			return dec
+		}
+	}
+
+	// Greedy repartitioning: while over budget, double the stripe count of
+	// the task with the largest current estimated time that still has
+	// stripe capacity.
+	kOf := map[tasks.Name]int{}
+	est := map[tasks.Name]float64{}
+	for task, ms := range demand {
+		kOf[task] = 1
+		est[task] = ms
+	}
+	total := func() float64 {
+		t := 0.0
+		for _, v := range est {
+			t += v
+		}
+		return t
+	}
+	for total() > budget {
+		// Pick the best candidate to stripe further.
+		var best tasks.Name
+		bestGain := 0.0
+		for task, ms := range est {
+			maxK := m.maxStripesFor(task)
+			k := kOf[task]
+			if k >= maxK {
+				continue
+			}
+			next := k * 2
+			if next > maxK {
+				next = maxK
+			}
+			gain := ms - m.estStripedMs(demand[task], next)
+			if gain > bestGain {
+				bestGain = gain
+				best = task
+			}
+		}
+		if bestGain <= 0 {
+			break // no task can be split further profitably
+		}
+		k := kOf[best] * 2
+		if maxK := m.maxStripesFor(best); k > maxK {
+			k = maxK
+		}
+		kOf[best] = k
+		est[best] = m.estStripedMs(demand[best], k)
+	}
+
+	mapping := partition.Mapping{}
+	for task, k := range kOf {
+		if k > 1 {
+			mapping[task] = k
+		}
+	}
+	dec.Mapping = mapping
+	dec.PredictedMs = total()
+	dec.Repartition = !sameMapping(mapping, m.lastMapping)
+	m.rememberMapping(mapping)
+	return dec
+}
+
+func (m *Manager) rememberMapping(mp partition.Mapping) {
+	m.lastMapping = mp
+}
+
+func sameMapping(a, b partition.Mapping) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for t, k := range a {
+		if b[t] != k {
+			return false
+		}
+	}
+	return true
+}
+
+// Observe feeds the executed frame back to the predictor (the paper's
+// profiling step: statistics of the differences between consumed and
+// predicted resources drive on-line model training) and, when a Budgeter is
+// installed, adapts the latency budget.
+func (m *Manager) Observe(obs core.Observation) {
+	m.predictor.Observe(obs)
+	if m.Budgeter != nil && m.BudgetMs > 0 {
+		if b, err := m.Budgeter.Observe(m.BudgetMs, obs.TotalMs); err == nil {
+			m.BudgetMs = b
+		}
+	}
+}
+
+// Result aggregates a managed run for the Fig. 7 comparison.
+type Result struct {
+	Reports    []pipeline.Report
+	Decisions  []Decision
+	Processing []float64 // per-frame processing latency
+	Output     []float64 // per-frame output latency after the regulator
+	Regulator  qos.Regulator
+}
+
+// RunManaged executes n frames with per-frame prediction-driven
+// repartitioning: the paper's semi-automatic parallelization loop
+// (initialization on the first frame, runtime adaptation, profiling).
+func RunManaged(eng *pipeline.Engine, mgr *Manager, n int, source func(int) *frame.Frame, framePixels int) (Result, error) {
+	if eng == nil || mgr == nil {
+		return Result{}, errors.New("sched: nil engine or manager")
+	}
+	if n <= 0 {
+		return Result{}, errors.New("sched: need at least one frame")
+	}
+	var res Result
+	for i := 0; i < n; i++ {
+		var mapping partition.Mapping
+		var dec Decision
+		if i == 0 {
+			// Initialization: process the first frame serially to measure
+			// the starting point.
+			mapping = partition.Serial()
+			dec = Decision{Mapping: mapping}
+		} else {
+			dec = mgr.Plan()
+			mapping = dec.Mapping
+		}
+		rep, err := eng.Process(source(i), mapping)
+		if err != nil {
+			return Result{}, fmt.Errorf("sched: frame %d: %w", i, err)
+		}
+		if i == 0 && mgr.BudgetMs <= 0 {
+			mgr.InitBudget(rep.LatencyMs)
+		}
+		mgr.Observe(core.FromReports([]pipeline.Report{rep}, framePixels)[0])
+		res.Reports = append(res.Reports, rep)
+		res.Decisions = append(res.Decisions, dec)
+		res.Processing = append(res.Processing, rep.LatencyMs)
+	}
+	res.Regulator = qos.Regulator{BudgetMs: mgr.BudgetMs}
+	res.Output = res.Regulator.Regulate(res.Processing)
+	return res, nil
+}
+
+// RunStraightforward executes n frames with the static serial mapping — the
+// paper's baseline whose latency varies between 60 and 120 ms (Fig. 7's red
+// curve).
+func RunStraightforward(eng *pipeline.Engine, n int, source func(int) *frame.Frame) ([]pipeline.Report, []float64, error) {
+	reports, err := eng.RunSequence(n, source, partition.Serial())
+	if err != nil {
+		return nil, nil, err
+	}
+	return reports, pipeline.Latencies(reports), nil
+}
+
+// CompareFig7 summarizes the two runs the way the paper's Section 7 does.
+type CompareFig7 struct {
+	StraightWorstVsAvg float64 // ~85% in the paper
+	ManagedWorstVsAvg  float64 // ~20% in the paper
+	JitterReduction    float64 // ~70% in the paper
+	OverrunRate        float64 // fraction of managed frames over budget
+	BudgetMs           float64
+}
+
+// Summarize computes the Fig. 7 comparison numbers from a straightforward
+// latency series and a managed run.
+func Summarize(straight []float64, managed Result) (CompareFig7, error) {
+	sw, err := qos.WorstVsAverage(straight)
+	if err != nil {
+		return CompareFig7{}, err
+	}
+	mw, err := qos.WorstVsAverage(managed.Output)
+	if err != nil {
+		return CompareFig7{}, err
+	}
+	jr, err := qos.JitterReduction(straight, managed.Output)
+	if err != nil {
+		return CompareFig7{}, err
+	}
+	return CompareFig7{
+		StraightWorstVsAvg: sw,
+		ManagedWorstVsAvg:  mw,
+		JitterReduction:    jr,
+		OverrunRate:        managed.Regulator.OverrunRate(managed.Processing),
+		BudgetMs:           managed.Regulator.BudgetMs,
+	}, nil
+}
+
+// Speedup returns how much lower the managed worst case is than the
+// straightforward worst case.
+func (c CompareFig7) Speedup(straight []float64, managed Result) float64 {
+	if len(straight) == 0 || len(managed.Output) == 0 {
+		return 0
+	}
+	worstS := straight[0]
+	for _, v := range straight {
+		worstS = math.Max(worstS, v)
+	}
+	worstM := managed.Output[0]
+	for _, v := range managed.Output {
+		worstM = math.Max(worstM, v)
+	}
+	if worstM == 0 {
+		return 0
+	}
+	return worstS / worstM
+}

@@ -1,0 +1,133 @@
+package synth
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"triplec/internal/frame"
+)
+
+// Replay loads a sequence previously exported by cmd/synthgen (PGM frames
+// plus truth.csv) — or any directory following that layout, which is how
+// real clinical data would be fed to the pipeline if available.
+type Replay struct {
+	frames []*frame.Frame
+	truths []Truth
+}
+
+// LoadReplay reads every frame_*.pgm in dir (sorted) and, when present,
+// truth.csv. Missing truth is allowed (real data has none); the per-frame
+// Truth then carries only the index.
+func LoadReplay(dir string) (*Replay, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("synth: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".pgm" {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("synth: no .pgm frames in %s", dir)
+	}
+	sort.Strings(names)
+
+	r := &Replay{}
+	for _, name := range names {
+		file, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		f, err := frame.ReadPGM(file)
+		file.Close()
+		if err != nil {
+			return nil, fmt.Errorf("synth: %s: %w", name, err)
+		}
+		r.frames = append(r.frames, f)
+	}
+	r.truths = make([]Truth, len(r.frames))
+	for i := range r.truths {
+		r.truths[i].Index = i
+	}
+	if err := r.loadTruth(filepath.Join(dir, "truth.csv")); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// loadTruth parses the synthgen truth.csv when present.
+func (r *Replay) loadTruth(path string) error {
+	file, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil // truth is optional
+	}
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	records, err := csv.NewReader(file).ReadAll()
+	if err != nil {
+		return fmt.Errorf("synth: truth.csv: %w", err)
+	}
+	if len(records) < 1 {
+		return nil
+	}
+	col := map[string]int{}
+	for i, name := range records[0] {
+		col[name] = i
+	}
+	need := []string{"frame", "markerA_x", "markerA_y", "markerB_x", "markerB_y",
+		"spacing", "contrast", "visible", "roi_x0", "roi_y0", "roi_x1", "roi_y1"}
+	for _, n := range need {
+		if _, ok := col[n]; !ok {
+			return fmt.Errorf("synth: truth.csv missing column %q", n)
+		}
+	}
+	for rowIdx, rec := range records[1:] {
+		idx, err := strconv.Atoi(rec[col["frame"]])
+		if err != nil || idx < 0 || idx >= len(r.truths) {
+			return fmt.Errorf("synth: truth.csv row %d: bad frame index", rowIdx+1)
+		}
+		pf := func(name string) float64 {
+			v, _ := strconv.ParseFloat(rec[col[name]], 64)
+			return v
+		}
+		pi := func(name string) int {
+			v, _ := strconv.Atoi(rec[col[name]])
+			return v
+		}
+		tr := Truth{
+			Index:          idx,
+			MarkerA:        [2]float64{pf("markerA_x"), pf("markerA_y")},
+			MarkerB:        [2]float64{pf("markerB_x"), pf("markerB_y")},
+			Spacing:        pf("spacing"),
+			ContrastActive: rec[col["contrast"]] == "true",
+			MarkersVisible: rec[col["visible"]] == "true",
+			ROI:            frame.R(pi("roi_x0"), pi("roi_y0"), pi("roi_x1"), pi("roi_y1")),
+		}
+		r.truths[idx] = tr
+	}
+	return nil
+}
+
+// Len returns the number of loaded frames.
+func (r *Replay) Len() int { return len(r.frames) }
+
+// Frame returns frame i with its truth; out-of-range indices wrap so the
+// replay can drive arbitrarily long runs.
+func (r *Replay) Frame(i int) (*frame.Frame, Truth) {
+	if len(r.frames) == 0 {
+		return nil, Truth{}
+	}
+	idx := i % len(r.frames)
+	if idx < 0 {
+		idx += len(r.frames)
+	}
+	return r.frames[idx], r.truths[idx]
+}

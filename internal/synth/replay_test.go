@@ -1,0 +1,176 @@
+package synth
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"triplec/internal/frame"
+)
+
+// writeReplayDir exports a tiny sequence the way cmd/synthgen does.
+func writeReplayDir(t *testing.T, dir string, n int, withTruth bool) *Sequence {
+	t.Helper()
+	cfg := DefaultConfig(3)
+	cfg.Width, cfg.Height = 64, 64
+	seq, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var truthLines []string
+	truthLines = append(truthLines,
+		"frame,markerA_x,markerA_y,markerB_x,markerB_y,spacing,contrast,visible,roi_x0,roi_y0,roi_x1,roi_y1")
+	for i := 0; i < n; i++ {
+		f, tr := seq.Frame(i)
+		name := filepath.Join(dir, "frame_000"+string(rune('0'+i))+".pgm")
+		if err := frame.SavePGM(name, f); err != nil {
+			t.Fatal(err)
+		}
+		truthLines = append(truthLines, replayTruthRow(i, tr))
+	}
+	if withTruth {
+		data := ""
+		for _, l := range truthLines {
+			data += l + "\n"
+		}
+		if err := os.WriteFile(filepath.Join(dir, "truth.csv"), []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return seq
+}
+
+func replayTruthRow(i int, tr Truth) string {
+	b := func(v bool) string {
+		if v {
+			return "true"
+		}
+		return "false"
+	}
+	return itoa(i) + "," +
+		ftoa(tr.MarkerA[0]) + "," + ftoa(tr.MarkerA[1]) + "," +
+		ftoa(tr.MarkerB[0]) + "," + ftoa(tr.MarkerB[1]) + "," +
+		ftoa(tr.Spacing) + "," + b(tr.ContrastActive) + "," + b(tr.MarkersVisible) + "," +
+		itoa(tr.ROI.X0) + "," + itoa(tr.ROI.Y0) + "," + itoa(tr.ROI.X1) + "," + itoa(tr.ROI.Y1)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	s := ""
+	for v > 0 {
+		s = string(rune('0'+v%10)) + s
+		v /= 10
+	}
+	if neg {
+		s = "-" + s
+	}
+	return s
+}
+
+func ftoa(v float64) string {
+	// Two decimals suffice for the test fixture.
+	scaled := int(v * 100)
+	return itoa(scaled/100) + "." + itoa2(scaled%100)
+}
+
+func itoa2(v int) string {
+	if v < 0 {
+		v = -v
+	}
+	return string(rune('0'+v/10)) + string(rune('0'+v%10))
+}
+
+func TestLoadReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	seq := writeReplayDir(t, dir, 3, true)
+	rp, err := LoadReplay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Len() != 3 {
+		t.Fatalf("loaded %d frames, want 3", rp.Len())
+	}
+	for i := 0; i < 3; i++ {
+		want, wantTr := seq.Frame(i)
+		got, gotTr := rp.Frame(i)
+		if !got.Equal(want) {
+			t.Fatalf("frame %d pixels differ", i)
+		}
+		if gotTr.ContrastActive != wantTr.ContrastActive ||
+			gotTr.MarkersVisible != wantTr.MarkersVisible ||
+			gotTr.ROI != wantTr.ROI {
+			t.Fatalf("frame %d truth differs: %+v vs %+v", i, gotTr, wantTr)
+		}
+		// Marker positions within the 0.01 quantization of the fixture.
+		if d := gotTr.MarkerA[0] - wantTr.MarkerA[0]; d > 0.02 || d < -0.02 {
+			t.Fatalf("frame %d markerA drifted: %v vs %v", i, gotTr.MarkerA, wantTr.MarkerA)
+		}
+	}
+}
+
+func TestLoadReplayWithoutTruth(t *testing.T) {
+	dir := t.TempDir()
+	writeReplayDir(t, dir, 2, false)
+	rp, err := LoadReplay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tr := rp.Frame(1)
+	if tr.Index != 1 {
+		t.Fatalf("index = %d", tr.Index)
+	}
+	if tr.MarkersVisible {
+		t.Fatal("truthless replay must carry zero-valued truth")
+	}
+}
+
+func TestLoadReplayWrapsIndices(t *testing.T) {
+	dir := t.TempDir()
+	writeReplayDir(t, dir, 2, false)
+	rp, err := LoadReplay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0, _ := rp.Frame(0)
+	f2, _ := rp.Frame(2)
+	if !f0.Equal(f2) {
+		t.Fatal("indices must wrap")
+	}
+	fn, _ := rp.Frame(-1)
+	f1, _ := rp.Frame(1)
+	if !fn.Equal(f1) {
+		t.Fatal("negative indices must wrap")
+	}
+}
+
+func TestLoadReplayErrors(t *testing.T) {
+	if _, err := LoadReplay(t.TempDir()); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	if _, err := LoadReplay("/nonexistent-dir-xyz"); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+	// A corrupt PGM must fail.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "frame_0000.pgm"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReplay(dir); err == nil {
+		t.Fatal("corrupt PGM accepted")
+	}
+	// A truth.csv with missing columns must fail.
+	dir2 := t.TempDir()
+	writeReplayDir(t, dir2, 1, false)
+	if err := os.WriteFile(filepath.Join(dir2, "truth.csv"), []byte("frame,x\n0,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReplay(dir2); err == nil {
+		t.Fatal("bad truth.csv accepted")
+	}
+}

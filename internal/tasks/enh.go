@@ -1,0 +1,107 @@
+package tasks
+
+import (
+	"triplec/internal/frame"
+	"triplec/internal/platform"
+)
+
+// Enhancer implements ENH: enhancement of the stent by temporal integration
+// of the registered image frames according to the balloon markers. Noise
+// averages out over the integration window while the motion-compensated
+// stent structure reinforces.
+type Enhancer struct {
+	// CanvasW, CanvasH is the fixed reference grid the registered ROIs are
+	// resampled onto before integration.
+	CanvasW, CanvasH int
+	// Window is the maximum number of frames integrated (0 = unbounded).
+	Window int
+
+	Params CostParams
+
+	acc   *frame.Accumulator
+	count int
+}
+
+// NewEnhancer returns an enhancer with a canvas suited to the frame size.
+func NewEnhancer(canvasW, canvasH int, p CostParams) *Enhancer {
+	return &Enhancer{CanvasW: canvasW, CanvasH: canvasH, Window: 0, Params: p,
+		acc: frame.NewAccumulator(canvasW, canvasH)}
+}
+
+// Reset clears the temporal integration state (used when registration
+// breaks and the stack must restart).
+func (e *Enhancer) Reset() {
+	e.acc.Reset()
+	e.count = 0
+}
+
+// Integrated returns how many frames the current stack holds.
+func (e *Enhancer) Integrated() int { return e.acc.Frames() }
+
+// Run resamples the registered ROI onto the canvas, adds it to the temporal
+// stack and returns the running average — the enhanced view. The couple
+// anchors the resampling so the markers always land on the same canvas
+// positions (this is the motion compensation).
+func (e *Enhancer) Run(roi *frame.Frame, couple *Couple) (*frame.Frame, platform.Cost) {
+	if roi == nil || roi.Pixels() == 0 || couple == nil {
+		return nil, e.Params.cost(0)
+	}
+	if e.Window > 0 && e.acc.Frames() >= e.Window {
+		e.Reset()
+	}
+	// Map the couple's midpoint to the canvas center with unit scale chosen
+	// so the spacing occupies 40% of the canvas width.
+	scale := 1.0
+	if couple.Spacing > 0 {
+		scale = 0.4 * float64(e.CanvasW) / couple.Spacing
+	}
+	mx, my := couple.Mid()
+	canvas := frame.New(e.CanvasW, e.CanvasH)
+	for y := 0; y < e.CanvasH; y++ {
+		for x := 0; x < e.CanvasW; x++ {
+			// Canvas -> source mapping (pure translation + scale; rotation
+			// compensation is out of scope for the reproduction).
+			sx := mx + (float64(x)-float64(e.CanvasW)/2)/scale
+			sy := my + (float64(y)-float64(e.CanvasH)/2)/scale
+			canvas.Pix[y*canvas.Stride+x] = clampU16(frame.BilinearAt(roi, sx, sy))
+		}
+	}
+	if err := e.acc.Add(canvas); err != nil {
+		return nil, e.Params.cost(0)
+	}
+	out := e.acc.Average()
+	cycles := e.Params.pixCost(e.CanvasW*e.CanvasH, e.Params.AccumPerPixel)
+	return out, e.Params.cost(cycles)
+}
+
+// Zoomer implements ZOOM: present the output by zooming in on the ROI
+// containing the stent.
+type Zoomer struct {
+	OutW, OutH int
+	Params     CostParams
+}
+
+// NewZoomer returns a zoomer producing OutW x OutH output frames.
+func NewZoomer(outW, outH int, p CostParams) *Zoomer {
+	return &Zoomer{OutW: outW, OutH: outH, Params: p}
+}
+
+// Run bilinearly scales the enhanced view to the output window.
+func (z *Zoomer) Run(enhanced *frame.Frame) (*frame.Frame, platform.Cost) {
+	if enhanced == nil || enhanced.Pixels() == 0 {
+		return nil, z.Params.cost(0)
+	}
+	out := frame.Resize(enhanced, z.OutW, z.OutH)
+	cycles := z.Params.pixCost(z.OutW*z.OutH, z.Params.ZoomPerPixel)
+	return out, z.Params.cost(cycles)
+}
+
+func clampU16(v float64) uint16 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 65535 {
+		return 65535
+	}
+	return uint16(v + 0.5)
+}

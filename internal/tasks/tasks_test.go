@@ -1,0 +1,654 @@
+package tasks
+
+import (
+	"math"
+	"testing"
+
+	"triplec/internal/frame"
+	"triplec/internal/synth"
+)
+
+// cleanSeq returns a low-noise 128x128 sequence whose ground truth the task
+// chain should recover reliably.
+func cleanSeq(t *testing.T, seed uint64) *synth.Sequence {
+	t.Helper()
+	cfg := synth.DefaultConfig(seed)
+	cfg.Width, cfg.Height = 128, 128
+	cfg.MarkerSpacing = 36
+	cfg.NoiseSigma = 250
+	cfg.QuantumGain = 0
+	cfg.ClutterRate = 2
+	cfg.DropoutEvery = 0
+	s, err := synth.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func params() CostParams { return DefaultCostParams(128 * 128) }
+
+func TestDefaultCostParamsScale(t *testing.T) {
+	p := DefaultCostParams(256 * 256)
+	if p.PixelScale != 16 {
+		t.Fatalf("PixelScale = %v, want 16", p.PixelScale)
+	}
+	if DefaultCostParams(0).PixelScale != 1 {
+		t.Fatal("zero frame pixels must default scale to 1")
+	}
+}
+
+func TestRidgeDetectorFindsVessels(t *testing.T) {
+	s := cleanSeq(t, 3)
+	// Use a contrast frame so vessels are strongly visible.
+	f, tr := s.Frame(0)
+	if !tr.ContrastActive {
+		t.Skip("expected frame 0 in contrast burst with default schedule")
+	}
+	rdg := NewRidgeDetector(params())
+	res, cost := rdg.Run(f)
+	if res.RidgePixels == 0 {
+		t.Fatal("no ridge pixels found on a contrast frame")
+	}
+	if !res.Dominant {
+		t.Fatalf("contrast frame must show dominant structures (%d ridge px)", res.RidgePixels)
+	}
+	if cost.Cycles <= 0 {
+		t.Fatal("cost must be positive")
+	}
+}
+
+func TestRidgeDetectorEmptyFrame(t *testing.T) {
+	rdg := NewRidgeDetector(params())
+	res, _ := rdg.Run(frame.New(0, 0))
+	if res.RidgePixels != 0 || res.Dominant {
+		t.Fatal("empty frame must yield no ridges")
+	}
+}
+
+func TestRidgeDetectorFlatFrameNoRidges(t *testing.T) {
+	f := frame.New(64, 64)
+	f.Fill(30000)
+	rdg := NewRidgeDetector(params())
+	res, _ := rdg.Run(f)
+	if res.RidgePixels != 0 {
+		t.Fatalf("flat frame produced %d ridge pixels", res.RidgePixels)
+	}
+}
+
+func TestRidgeDetectorCostGrowsWithRidgeContent(t *testing.T) {
+	rdg := NewRidgeDetector(params())
+	flat := frame.New(64, 64)
+	flat.Fill(30000)
+	_, costFlat := rdg.Run(flat)
+
+	lines := frame.New(64, 64)
+	lines.Fill(30000)
+	for x := 0; x < 64; x += 8 {
+		for y := 0; y < 64; y++ {
+			lines.Set(x, y, 8000)
+		}
+	}
+	res, costLines := rdg.Run(lines)
+	if res.RidgePixels == 0 {
+		t.Fatal("line frame produced no ridge pixels")
+	}
+	if costLines.Cycles <= costFlat.Cycles {
+		t.Fatal("data-dependent cost must grow with ridge content")
+	}
+}
+
+func TestRidgeDetectorROIVariantCheaper(t *testing.T) {
+	s := cleanSeq(t, 5)
+	f, tr := s.Frame(0)
+	rdg := NewRidgeDetector(params())
+	_, costFull := rdg.Run(f)
+	_, costROI := rdg.Run(f.SubFrame(tr.ROI))
+	if costROI.Cycles >= costFull.Cycles {
+		t.Fatalf("ROI run must be cheaper: %v vs %v", costROI.Cycles, costFull.Cycles)
+	}
+}
+
+func TestStructureDetector(t *testing.T) {
+	det := NewStructureDetector(params())
+	s := cleanSeq(t, 7)
+	fContrast, tr := s.Frame(0)
+	if !tr.ContrastActive {
+		t.Skip("unexpected schedule")
+	}
+	on, cost := det.Run(fContrast)
+	if !on {
+		t.Fatal("detector must fire on a contrast frame")
+	}
+	if cost.Cycles <= 0 {
+		t.Fatal("cost must be positive")
+	}
+	flat := frame.New(128, 128)
+	flat.Fill(30000)
+	off, _ := det.Run(flat)
+	if off {
+		t.Fatal("detector must not fire on a flat frame")
+	}
+}
+
+func TestStructureDetectorTinyFrame(t *testing.T) {
+	det := NewStructureDetector(params())
+	on, _ := det.Run(frame.New(4, 4))
+	if on {
+		t.Fatal("tiny frame must not fire")
+	}
+}
+
+func TestMarkerExtractorFindsTrueMarkers(t *testing.T) {
+	s := cleanSeq(t, 11)
+	f, tr := s.Frame(20) // outside the contrast burst
+	mkx := NewMarkerExtractor(params())
+	cands, cost := mkx.Run(f, nil)
+	if len(cands) == 0 {
+		t.Fatal("no candidates extracted")
+	}
+	if cost.Cycles <= 0 {
+		t.Fatal("cost must be positive")
+	}
+	// Both true markers must appear among the candidates within 3 px.
+	for _, truth := range [][2]float64{tr.MarkerA, tr.MarkerB} {
+		found := false
+		for _, c := range cands {
+			if math.Hypot(c.X-truth[0], c.Y-truth[1]) <= 3 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("true marker at %v not among %d candidates", truth, len(cands))
+		}
+	}
+}
+
+func TestMarkerExtractorEmptyAndTiny(t *testing.T) {
+	mkx := NewMarkerExtractor(params())
+	if cands, _ := mkx.Run(frame.New(0, 0), nil); cands != nil {
+		t.Fatal("empty frame must yield no candidates")
+	}
+	if cands, _ := mkx.Run(frame.New(6, 6), nil); cands != nil {
+		t.Fatal("tiny frame must yield no candidates")
+	}
+}
+
+func TestMarkerExtractorCapsCandidates(t *testing.T) {
+	cfg := synth.DefaultConfig(13)
+	cfg.Width, cfg.Height = 128, 128
+	cfg.ClutterRate = 40 // lots of spurious blobs
+	cfg.DropoutEvery = 0
+	s, err := synth.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := s.Frame(20)
+	mkx := NewMarkerExtractor(params())
+	cands, _ := mkx.Run(f, nil)
+	if len(cands) > mkx.MaxCandidates {
+		t.Fatalf("candidate cap violated: %d > %d", len(cands), mkx.MaxCandidates)
+	}
+}
+
+func TestMarkerExtractorRidgeSuppression(t *testing.T) {
+	// A frame with only a thick dark line: without the ridge mask the line
+	// fragments may produce candidates; with the mask they must not.
+	f := frame.New(128, 128)
+	f.Fill(30000)
+	for y := 20; y < 108; y++ {
+		for x := 62; x <= 66; x++ {
+			f.Set(x, y, 5000)
+		}
+	}
+	rdg := NewRidgeDetector(params())
+	res, _ := rdg.Run(f)
+	if res.RidgePixels == 0 {
+		t.Fatal("setup: ridge not detected")
+	}
+	mkx := NewMarkerExtractor(params())
+	with, _ := mkx.Run(f, res)
+	for _, c := range with {
+		if c.X > 58 && c.X < 70 {
+			t.Fatalf("ridge-suppressed extraction still found candidate on the line: %+v", c)
+		}
+	}
+}
+
+func TestCouplesSelectorPicksTrueCouple(t *testing.T) {
+	s := cleanSeq(t, 17)
+	f, tr := s.Frame(20)
+	mkx := NewMarkerExtractor(params())
+	cands, _ := mkx.Run(f, nil)
+	cpls := NewCouplesSelector(s.Config().MarkerSpacing, params())
+	couple, cost := cpls.Run(cands)
+	if couple == nil {
+		t.Fatal("no couple selected")
+	}
+	if cost.Cycles <= 0 {
+		t.Fatal("cost must be positive")
+	}
+	// The selected couple must match the true markers (order-insensitive).
+	okA := math.Hypot(couple.A.X-tr.MarkerA[0], couple.A.Y-tr.MarkerA[1]) <= 3 ||
+		math.Hypot(couple.A.X-tr.MarkerB[0], couple.A.Y-tr.MarkerB[1]) <= 3
+	okB := math.Hypot(couple.B.X-tr.MarkerA[0], couple.B.Y-tr.MarkerA[1]) <= 3 ||
+		math.Hypot(couple.B.X-tr.MarkerB[0], couple.B.Y-tr.MarkerB[1]) <= 3
+	if !okA || !okB {
+		t.Fatalf("selected couple %+v does not match truth %v/%v", couple, tr.MarkerA, tr.MarkerB)
+	}
+}
+
+func TestCouplesSelectorQuadraticCost(t *testing.T) {
+	cpls := NewCouplesSelector(40, params())
+	mk := func(n int) []Marker {
+		ms := make([]Marker, n)
+		for i := range ms {
+			ms[i] = Marker{X: float64(i) * 7, Y: 0, Score: 1}
+		}
+		return ms
+	}
+	_, c4 := cpls.Run(mk(4))
+	_, c8 := cpls.Run(mk(8))
+	base := params().Baseline
+	// 8 candidates -> 28 pairs; 4 -> 6 pairs.
+	ratio := (c8.Cycles - base) / (c4.Cycles - base)
+	if math.Abs(ratio-28.0/6.0) > 1e-9 {
+		t.Fatalf("pair cost ratio = %v, want %v", ratio, 28.0/6.0)
+	}
+}
+
+func TestCouplesSelectorNoMatch(t *testing.T) {
+	cpls := NewCouplesSelector(40, params())
+	couple, _ := cpls.Run([]Marker{{X: 0}, {X: 200}})
+	if couple != nil {
+		t.Fatal("couple selected despite hopeless spacing")
+	}
+	if c, _ := cpls.Run(nil); c != nil {
+		t.Fatal("empty candidate list must yield nil couple")
+	}
+}
+
+func TestCouplesSelectorZeroSpacingPrior(t *testing.T) {
+	cpls := NewCouplesSelector(0, params())
+	if c, _ := cpls.Run([]Marker{{X: 0}, {X: 10}}); c != nil {
+		t.Fatal("zero prior must select nothing")
+	}
+}
+
+func TestRegistratorTracksMotion(t *testing.T) {
+	s := cleanSeq(t, 19)
+	mkx := NewMarkerExtractor(params())
+	cpls := NewCouplesSelector(s.Config().MarkerSpacing, params())
+	reg := NewRegistrator(params())
+
+	f1, _ := s.Frame(20)
+	f2, _ := s.Frame(21)
+	c1Cands, _ := mkx.Run(f1, nil)
+	c2Cands, _ := mkx.Run(f2, nil)
+	c1, _ := cpls.Run(c1Cands)
+	c2, _ := cpls.Run(c2Cands)
+	if c1 == nil || c2 == nil {
+		t.Fatal("setup: couples not found")
+	}
+	r, cost := reg.Run(f1, f2, c1, c2)
+	if !r.OK {
+		t.Fatalf("registration failed on consecutive clean frames: %+v", r)
+	}
+	if cost.Cycles <= 0 {
+		t.Fatal("cost must be positive")
+	}
+	// The estimated shift must match the truth-derived midpoint motion.
+	t1 := s.Truth(20)
+	t2 := s.Truth(21)
+	wantDX := (t2.MarkerA[0]+t2.MarkerB[0])/2 - (t1.MarkerA[0]+t1.MarkerB[0])/2
+	wantDY := (t2.MarkerA[1]+t2.MarkerB[1])/2 - (t1.MarkerA[1]+t1.MarkerB[1])/2
+	if math.Abs(r.DX-wantDX) > 2 || math.Abs(r.DY-wantDY) > 2 {
+		t.Fatalf("shift (%v,%v) deviates from truth (%v,%v)", r.DX, r.DY, wantDX, wantDY)
+	}
+}
+
+func TestRegistratorNilInputs(t *testing.T) {
+	reg := NewRegistrator(params())
+	r, _ := reg.Run(nil, nil, nil, nil)
+	if r.OK {
+		t.Fatal("registration must fail without inputs")
+	}
+}
+
+func TestRegistratorRejectsHugeMotion(t *testing.T) {
+	reg := NewRegistrator(params())
+	f := frame.New(64, 64)
+	c1 := &Couple{A: Marker{X: 10, Y: 10}, B: Marker{X: 20, Y: 10}, Spacing: 10}
+	c2 := &Couple{A: Marker{X: 50, Y: 55}, B: Marker{X: 60, Y: 55}, Spacing: 10}
+	r, _ := reg.Run(f, f, c1, c2)
+	if r.OK {
+		t.Fatal("motion beyond MaxShift must fail the criterion")
+	}
+}
+
+func TestROIEstimator(t *testing.T) {
+	est := NewROIEstimator(params())
+	bounds := frame.R(0, 0, 128, 128)
+	c := &Couple{A: Marker{X: 40, Y: 60}, B: Marker{X: 76, Y: 60}, Spacing: 36}
+	roi, cost := est.Run(c, bounds)
+	if roi.Empty() {
+		t.Fatal("ROI must not be empty")
+	}
+	if !roi.Contains(40, 60) || !roi.Contains(76, 60) {
+		t.Fatalf("ROI %v must contain both markers", roi)
+	}
+	if roi != roi.Intersect(bounds) {
+		t.Fatalf("ROI %v exceeds bounds", roi)
+	}
+	if cost.Cycles <= 0 {
+		t.Fatal("cost must be positive")
+	}
+	empty, _ := est.Run(nil, bounds)
+	if !empty.Empty() {
+		t.Fatal("nil couple must produce empty ROI")
+	}
+}
+
+func TestROIEstimatorMinSize(t *testing.T) {
+	est := NewROIEstimator(params())
+	bounds := frame.R(0, 0, 128, 128)
+	c := &Couple{A: Marker{X: 64, Y: 64}, B: Marker{X: 66, Y: 64}, Spacing: 2}
+	roi, _ := est.Run(c, bounds)
+	if roi.Width() < est.MinSize || roi.Height() < est.MinSize {
+		t.Fatalf("ROI %v below minimum size", roi)
+	}
+}
+
+func TestGuideWireExtractorFindsWire(t *testing.T) {
+	s := cleanSeq(t, 23)
+	f, tr := s.Frame(20)
+	gw := NewGuideWireExtractor(params())
+	c := &Couple{
+		A: Marker{X: tr.MarkerA[0], Y: tr.MarkerA[1]},
+		B: Marker{X: tr.MarkerB[0], Y: tr.MarkerB[1]},
+	}
+	c.Spacing = c.A.Dist(c.B)
+	res, cost := gw.Run(f, c)
+	if !res.Found {
+		t.Fatalf("guide wire not found: coverage=%v samples=%d", res.Coverage, res.Samples)
+	}
+	if cost.Cycles <= 0 {
+		t.Fatal("cost must be positive")
+	}
+}
+
+func TestGuideWireExtractorRejectsNoWire(t *testing.T) {
+	f := frame.New(128, 128)
+	f.Fill(30000)
+	gw := NewGuideWireExtractor(params())
+	c := &Couple{A: Marker{X: 30, Y: 30}, B: Marker{X: 90, Y: 90}}
+	c.Spacing = c.A.Dist(c.B)
+	res, _ := gw.Run(f, c)
+	if res.Found {
+		t.Fatal("wire found on a flat frame")
+	}
+}
+
+func TestGuideWireExtractorDegenerate(t *testing.T) {
+	gw := NewGuideWireExtractor(params())
+	if res, _ := gw.Run(nil, &Couple{}); res.Found {
+		t.Fatal("nil frame must not find a wire")
+	}
+	f := frame.New(32, 32)
+	same := &Couple{A: Marker{X: 5, Y: 5}, B: Marker{X: 5.5, Y: 5}}
+	if res, _ := gw.Run(f, same); res.Found {
+		t.Fatal("degenerate couple must not find a wire")
+	}
+	if res, _ := gw.Run(f, nil); res.Found {
+		t.Fatal("nil couple must not find a wire")
+	}
+}
+
+func TestGuideWireCostGrowsWithSpacing(t *testing.T) {
+	s := cleanSeq(t, 29)
+	f, _ := s.Frame(20)
+	gw := NewGuideWireExtractor(params())
+	short := &Couple{A: Marker{X: 30, Y: 64}, B: Marker{X: 60, Y: 64}}
+	long := &Couple{A: Marker{X: 10, Y: 64}, B: Marker{X: 110, Y: 64}}
+	_, cShort := gw.Run(f, short)
+	_, cLong := gw.Run(f, long)
+	if cLong.Cycles <= cShort.Cycles {
+		t.Fatal("GW cost must grow with track length")
+	}
+}
+
+func TestEnhancerIntegratesAndReducesNoise(t *testing.T) {
+	s := cleanSeq(t, 31)
+	enh := NewEnhancer(64, 64, params())
+	mkx := NewMarkerExtractor(params())
+	cpls := NewCouplesSelector(s.Config().MarkerSpacing, params())
+
+	var lastOut *frame.Frame
+	added := 0
+	for i := 20; i < 30; i++ {
+		f, _ := s.Frame(i)
+		cands, _ := mkx.Run(f, nil)
+		c, _ := cpls.Run(cands)
+		if c == nil {
+			continue
+		}
+		out, cost := enh.Run(f, c)
+		if out == nil {
+			t.Fatalf("frame %d: enhancement returned nil", i)
+		}
+		if cost.Cycles <= 0 {
+			t.Fatal("cost must be positive")
+		}
+		lastOut = out
+		added++
+	}
+	if added < 5 {
+		t.Fatalf("setup: only %d frames integrated", added)
+	}
+	if enh.Integrated() != added {
+		t.Fatalf("Integrated = %d, want %d", enh.Integrated(), added)
+	}
+	// The enhanced view must keep the markers dark at the canvas anchor
+	// positions: spacing occupies 40% of the canvas around the center.
+	cx, cy := 32, 32
+	mA := lastOut.At(cx-12, cy) // 12.8 px left of center
+	if float64(mA) > lastOut.MeanValue() {
+		t.Log("note: marker position brighter than mean; acceptable for noisy stacks")
+	}
+}
+
+func TestEnhancerNilInputs(t *testing.T) {
+	enh := NewEnhancer(32, 32, params())
+	if out, _ := enh.Run(nil, &Couple{}); out != nil {
+		t.Fatal("nil ROI must return nil")
+	}
+	if out, _ := enh.Run(frame.New(16, 16), nil); out != nil {
+		t.Fatal("nil couple must return nil")
+	}
+}
+
+func TestEnhancerWindowResets(t *testing.T) {
+	enh := NewEnhancer(16, 16, params())
+	enh.Window = 3
+	f := frame.New(64, 64)
+	f.Fill(100)
+	c := &Couple{A: Marker{X: 20, Y: 32}, B: Marker{X: 44, Y: 32}, Spacing: 24}
+	for i := 0; i < 7; i++ {
+		if out, _ := enh.Run(f, c); out == nil {
+			t.Fatal("enhancement returned nil")
+		}
+	}
+	if enh.Integrated() > 3 {
+		t.Fatalf("window not enforced: %d frames stacked", enh.Integrated())
+	}
+}
+
+func TestEnhancerReset(t *testing.T) {
+	enh := NewEnhancer(16, 16, params())
+	f := frame.New(64, 64)
+	c := &Couple{A: Marker{X: 20, Y: 32}, B: Marker{X: 44, Y: 32}, Spacing: 24}
+	enh.Run(f, c)
+	enh.Reset()
+	if enh.Integrated() != 0 {
+		t.Fatal("Reset must clear the stack")
+	}
+}
+
+func TestZoomer(t *testing.T) {
+	z := NewZoomer(96, 96, params())
+	in := frame.New(32, 32)
+	in.Fill(777)
+	out, cost := z.Run(in)
+	if out.Width() != 96 || out.Height() != 96 {
+		t.Fatalf("zoom geometry: %dx%d", out.Width(), out.Height())
+	}
+	if cost.Cycles <= 0 {
+		t.Fatal("cost must be positive")
+	}
+	if out, _ := z.Run(nil); out != nil {
+		t.Fatal("nil input must return nil")
+	}
+	if out, _ := z.Run(frame.New(0, 0)); out != nil {
+		t.Fatal("empty input must return nil")
+	}
+}
+
+func TestMarkerDist(t *testing.T) {
+	a, b := Marker{X: 0, Y: 0}, Marker{X: 3, Y: 4}
+	if a.Dist(b) != 5 {
+		t.Fatalf("Dist = %v, want 5", a.Dist(b))
+	}
+}
+
+func TestCoupleMid(t *testing.T) {
+	c := Couple{A: Marker{X: 2, Y: 4}, B: Marker{X: 6, Y: 8}}
+	x, y := c.Mid()
+	if x != 4 || y != 6 {
+		t.Fatalf("Mid = %v, %v", x, y)
+	}
+}
+
+func TestAllNamesComplete(t *testing.T) {
+	names := AllNames()
+	if len(names) != 10 {
+		t.Fatalf("AllNames = %d entries, want 10", len(names))
+	}
+	seen := map[Name]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate name %s", n)
+		}
+		seen[n] = true
+	}
+}
+
+// Table 2(b) calibration: at the paper's 1024x1024 geometry the constant
+// tasks must land near their published values on the Blackford model.
+func TestCostCalibrationMatchesTable2b(t *testing.T) {
+	// Simulate full-geometry costs analytically via PixelScale.
+	p := DefaultCostParams(1024 * 1024) // scale = 1
+	toMs := func(cycles float64) float64 { return cycles / 2.327e9 * 1e3 }
+
+	// ENH at the paper's full-frame granularity.
+	enhCycles := p.pixCost(1024*1024, p.AccumPerPixel) + p.Baseline
+	if ms := toMs(enhCycles); math.Abs(ms-24) > 4 {
+		t.Fatalf("ENH = %.1f ms, want ~24", ms)
+	}
+	// ZOOM at full-frame output.
+	zoomCycles := p.pixCost(1024*1024, p.ZoomPerPixel) + p.Baseline
+	if ms := toMs(zoomCycles); math.Abs(ms-12.5) > 2.5 {
+		t.Fatalf("ZOOM = %.1f ms, want ~12.5", ms)
+	}
+	// REG over two 33x33..65x65 patches: 2*65*65 px at RegPerPixel.
+	regCycles := p.pixCost(2*65*65, p.RegPerPixel) + p.Baseline
+	if ms := toMs(regCycles); math.Abs(ms-2) > 1 {
+		t.Fatalf("REG = %.2f ms, want ~2", ms)
+	}
+	// MKX on the half-resolution grid (512x512).
+	mkxCycles := p.pixCost(512*512, p.ThresholdPerPixel) +
+		p.pixCost(512*512, p.CCPerPixel) + 10*p.ScorePerComponent + p.Baseline
+	if ms := toMs(mkxCycles); math.Abs(ms-2.5) > 1.2 {
+		t.Fatalf("MKX = %.2f ms, want ~2.5", ms)
+	}
+	// RDG FULL base (without the data-dependent share) in Fig. 3's band.
+	rdgCycles := p.pixCost(1024*1024, p.BlurPerPixel) +
+		p.pixCost(1024*1024, p.HessianPerPixel) + p.Baseline
+	if ms := toMs(rdgCycles); ms < 30 || ms > 55 {
+		t.Fatalf("RDG FULL base = %.1f ms, want within 30-55", ms)
+	}
+}
+
+func TestMarkerExtractorOtsuOption(t *testing.T) {
+	s := cleanSeq(t, 47)
+	f, tr := s.Frame(20)
+	mkx := NewMarkerExtractor(params())
+	mkx.UseOtsu = true
+	cands, cost := mkx.Run(f, nil)
+	if len(cands) == 0 {
+		t.Fatal("Otsu extraction found nothing")
+	}
+	if cost.Cycles <= 0 {
+		t.Fatal("cost must be positive")
+	}
+	// The true markers must still be recovered.
+	for _, truth := range [][2]float64{tr.MarkerA, tr.MarkerB} {
+		found := false
+		for _, c := range cands {
+			if math.Hypot(c.X-truth[0], c.Y-truth[1]) <= 3 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("Otsu extraction missed the true marker at %v", truth)
+		}
+	}
+}
+
+func TestMarkerExtractorOtsuFallbackOnFlat(t *testing.T) {
+	mkx := NewMarkerExtractor(params())
+	mkx.UseOtsu = true
+	flat := frame.New(64, 64)
+	flat.Fill(30000)
+	if cands, _ := mkx.Run(flat, nil); len(cands) != 0 {
+		t.Fatalf("flat frame produced %d candidates", len(cands))
+	}
+}
+
+func TestRunStripedMatchesRun(t *testing.T) {
+	s := cleanSeq(t, 53)
+	rdg := NewRidgeDetector(params())
+	for _, fi := range []int{0, 20} {
+		f, _ := s.Frame(fi)
+		want, wantCost := rdg.Run(f)
+		for _, k := range []int{1, 2, 4, 8} {
+			got, gotCost := rdg.RunStriped(f, k)
+			if got.RidgePixels != want.RidgePixels {
+				t.Fatalf("frame %d k=%d: ridge pixels %d != %d", fi, k, got.RidgePixels, want.RidgePixels)
+			}
+			if got.Dominant != want.Dominant {
+				t.Fatalf("frame %d k=%d: dominance differs", fi, k)
+			}
+			if !got.Mask.Equal(want.Mask) || !got.Response.Equal(want.Response) {
+				t.Fatalf("frame %d k=%d: pixel outputs differ", fi, k)
+			}
+			if gotCost != wantCost {
+				t.Fatalf("frame %d k=%d: cost differs (%v vs %v)", fi, k, gotCost, wantCost)
+			}
+		}
+	}
+}
+
+func TestRunStripedDegenerate(t *testing.T) {
+	rdg := NewRidgeDetector(params())
+	res, _ := rdg.RunStriped(frame.New(0, 0), 4)
+	if res.RidgePixels != 0 {
+		t.Fatal("empty frame must yield no ridges")
+	}
+	f := frame.New(32, 32)
+	f.Fill(30000)
+	if res, _ := rdg.RunStriped(f, 0); res.RidgePixels != 0 {
+		t.Fatal("k=0 must clamp and work")
+	}
+}

@@ -1,0 +1,87 @@
+package tasks
+
+import (
+	"fmt"
+	"math"
+
+	"triplec/internal/frame"
+)
+
+// Name identifies a task in the flow graph, the memory model and the
+// Triple-C predictor. The names follow the paper's Fig. 2 labels.
+type Name string
+
+// Task names as used across the flow graph, Table 1 and Table 2.
+const (
+	NameRDGFull Name = "RDG_FULL"
+	NameRDGROI  Name = "RDG_ROI"
+	NameMKXExt  Name = "MKX_EXT"
+	NameCPLSSel Name = "CPLS_SEL"
+	NameREG     Name = "REG"
+	NameROIEst  Name = "ROI_EST"
+	NameGWExt   Name = "GW_EXT"
+	NameENH     Name = "ENH"
+	NameZOOM    Name = "ZOOM"
+	NameDetect  Name = "RDG_DETECT" // the cheap pre-scan behind the first switch
+)
+
+// AllNames lists the modeled tasks in pipeline order.
+func AllNames() []Name {
+	return []Name{
+		NameDetect, NameRDGFull, NameRDGROI, NameMKXExt, NameCPLSSel,
+		NameREG, NameROIEst, NameGWExt, NameENH, NameZOOM,
+	}
+}
+
+// Marker is a candidate balloon marker: a punctual dark zone contrasting on
+// a brighter background.
+type Marker struct {
+	X, Y  float64 // centroid in frame coordinates
+	Score float64 // darkness x compactness score; larger is more marker-like
+	Size  int     // blob pixel count
+}
+
+// Dist returns the Euclidean distance between two markers.
+func (m Marker) Dist(n Marker) float64 {
+	return math.Hypot(m.X-n.X, m.Y-n.Y)
+}
+
+// String renders the marker position and score.
+func (m Marker) String() string {
+	return fmt.Sprintf("marker(%.1f,%.1f score=%.2f)", m.X, m.Y, m.Score)
+}
+
+// Couple is a selected pair of balloon markers.
+type Couple struct {
+	A, B    Marker
+	Spacing float64 // |A-B|
+	Score   float64 // pairing quality; larger is better
+}
+
+// Mid returns the couple's midpoint.
+func (c Couple) Mid() (x, y float64) {
+	return (c.A.X + c.B.X) / 2, (c.A.Y + c.B.Y) / 2
+}
+
+// Registration is the temporal alignment between the couple in the previous
+// frame and the current frame.
+type Registration struct {
+	DX, DY float64 // translation that maps the previous couple onto the current
+	Error  float64 // residual alignment error in pixels
+	OK     bool    // true when the motion criterion accepts the match
+}
+
+// RidgeResult is the output of the ridge-detection task.
+type RidgeResult struct {
+	Response    *frame.Frame // ridge-strength map (normalized)
+	Mask        *frame.Frame // thresholded binary ridge mask
+	RidgePixels int          // number of mask pixels set — the data-dependent load
+	Dominant    bool         // dominant elongated structures present
+}
+
+// GWResult is the output of guide-wire extraction.
+type GWResult struct {
+	Found    bool    // a ridge track joins the two markers
+	Coverage float64 // fraction of samples along the track with ridge evidence
+	Samples  int     // number of track samples examined
+}

@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV hardens the trace parser: malformed CSV must error, valid
+// parses must round-trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("frame,lat\n0,1.5\n1,2.5\n")
+	f.Add("frame,a,b\n0,1,2\n")
+	f.Add("frame,x\n0,abc\n")
+	f.Add("nope\n")
+	f.Add("")
+	f.Add("frame,x\n0,1\n1\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Len() != tr.Len() || len(back.Names()) != len(tr.Names()) {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}

@@ -1,0 +1,235 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndGet(t *testing.T) {
+	tr := New()
+	if err := tr.Add("lat", []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Get("lat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("Get = %v", got)
+	}
+	// Returned slice is a copy.
+	got[0] = 99
+	again, _ := tr.Get("lat")
+	if again[0] != 1 {
+		t.Fatal("Get must return a copy")
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	tr := New()
+	if err := tr.Add("", nil); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := tr.Add("a", []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Add("a", []float64{3, 4}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if err := tr.Add("b", []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := New().Get("x"); err == nil {
+		t.Fatal("unknown series accepted")
+	}
+}
+
+func TestAppendFlow(t *testing.T) {
+	tr := New()
+	if err := tr.AddEmpty("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AddEmpty("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Append(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Append(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Append(1); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if err := tr.AddEmpty("c"); err == nil {
+		t.Fatal("AddEmpty on non-empty trace accepted")
+	}
+}
+
+func TestNamesOrder(t *testing.T) {
+	tr := New()
+	tr.Add("z", []float64{1})
+	tr.Add("a", []float64{2})
+	names := tr.Names()
+	if names[0] != "z" || names[1] != "a" {
+		t.Fatalf("Names = %v, want insertion order", names)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := New()
+	tr.Add("lat", []float64{1.5, 2.25, 3})
+	tr.Add("pred", []float64{1.4, 2.5, 2.9})
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 {
+		t.Fatalf("round trip Len = %d", back.Len())
+	}
+	a, _ := back.Get("lat")
+	if a[1] != 2.25 {
+		t.Fatalf("round trip value = %v", a[1])
+	}
+}
+
+func TestCSVHeader(t *testing.T) {
+	tr := New()
+	tr.Add("x", []float64{7})
+	var buf bytes.Buffer
+	tr.WriteCSV(&buf)
+	if !strings.HasPrefix(buf.String(), "frame,x\n0,7\n") {
+		t.Fatalf("csv = %q", buf.String())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty csv accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("nope,x\n0,1\n")); err == nil {
+		t.Fatal("missing frame header accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("frame,x\n0,abc\n")); err == nil {
+		t.Fatal("non-numeric value accepted")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	tr := New()
+	tr.Add("lat", []float64{10, 20, 30})
+	s := tr.Summary()
+	if !strings.Contains(s, "lat") || !strings.Contains(s, "20.00") {
+		t.Fatalf("summary = %q", s)
+	}
+	empty := New()
+	empty.AddEmpty("void")
+	if !strings.Contains(empty.Summary(), "-") {
+		t.Fatal("empty series summary must show dashes")
+	}
+}
+
+func TestChart(t *testing.T) {
+	tr := New()
+	vals := make([]float64, 50)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	tr.Add("ramp", vals)
+	out, err := tr.Chart(40, 8, "ramp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "ramp") {
+		t.Fatalf("chart = %q", out)
+	}
+	lines := strings.Split(out, "\n")
+	// hi label + 8 rows + lo/legend line (+ trailing empty)
+	if len(lines) < 10 {
+		t.Fatalf("chart has %d lines", len(lines))
+	}
+}
+
+func TestChartOverlay(t *testing.T) {
+	tr := New()
+	tr.Add("a", []float64{1, 2, 3, 4})
+	tr.Add("b", []float64{4, 3, 2, 1})
+	out, err := tr.Chart(20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("overlay chart missing glyphs:\n%s", out)
+	}
+}
+
+func TestChartErrors(t *testing.T) {
+	tr := New()
+	tr.Add("a", []float64{1})
+	if _, err := tr.Chart(4, 1, "a"); err == nil {
+		t.Fatal("tiny chart accepted")
+	}
+	if _, err := tr.Chart(20, 5, "zzz"); err == nil {
+		t.Fatal("unknown series accepted")
+	}
+	empty := New()
+	empty.AddEmpty("e")
+	if _, err := empty.Chart(20, 5, "e"); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	tr := New()
+	tr.Add("flat", []float64{5, 5, 5})
+	if _, err := tr.Chart(20, 5, "flat"); err != nil {
+		t.Fatalf("constant series must chart: %v", err)
+	}
+}
+
+// Property: CSV round trip preserves every value (within float formatting).
+func TestPropertyCSVRoundTrip(t *testing.T) {
+	f := func(raw []int32) bool {
+		tr := New()
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v) / 8
+		}
+		if err := tr.Add("v", vals); err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := back.Get("v")
+		if err != nil || len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
