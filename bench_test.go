@@ -12,6 +12,7 @@ package triplec
 
 import (
 	"io"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -27,6 +28,7 @@ import (
 	"triplec/internal/platform"
 	"triplec/internal/sched"
 	"triplec/internal/stats"
+	"triplec/internal/stream"
 	"triplec/internal/synth"
 	"triplec/internal/tasks"
 )
@@ -653,6 +655,76 @@ func BenchmarkRealStripedRDG(b *testing.B) {
 					b.Fatal("no response")
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkMultiStreamThroughput measures the wall-clock aggregate
+// throughput of the concurrent serving layer (internal/stream) as the
+// stream count grows from 1 up to the host's core count. Each stream gets
+// its own engine, trained predictor and manager; the global controller
+// re-divides the modeled machine between them every few frames. Reported
+// metrics: aggregate processed frames per wall-clock second and the worst
+// per-stream deadline-miss rate.
+func BenchmarkMultiStreamThroughput(b *testing.B) {
+	setup(b)
+	s := benchSetup.study
+	counts := []int{1}
+	for c := 2; c <= runtime.NumCPU(); c *= 2 {
+		counts = append(counts, c)
+	}
+	if last := counts[len(counts)-1]; last != runtime.NumCPU() {
+		counts = append(counts, runtime.NumCPU())
+	}
+	for _, nStreams := range counts {
+		b.Run(benchName("streams", nStreams), func(b *testing.B) {
+			var fps, worstMiss float64
+			for i := 0; i < b.N; i++ {
+				cfgs := make([]stream.Config, nStreams)
+				for j := range cfgs {
+					p, err := s.TrainPredictor()
+					if err != nil {
+						b.Fatal(err)
+					}
+					mgr, err := sched.NewManager(p, s.Arch)
+					if err != nil {
+						b.Fatal(err)
+					}
+					mgr.Sticky = true
+					eng, err := s.Engine()
+					if err != nil {
+						b.Fatal(err)
+					}
+					seq, err := s.Sequence(uint64(1000 + 31*j))
+					if err != nil {
+						b.Fatal(err)
+					}
+					cfgs[j] = stream.Config{
+						Name:        benchName("s", j),
+						Engine:      eng,
+						Manager:     mgr,
+						Source:      experiments.Source(seq),
+						FramePixels: s.FramePixels(),
+					}
+				}
+				srv, err := stream.NewServer(stream.ServerConfig{}, cfgs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := srv.Run(40)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fps = res.AggregateFPS
+				worstMiss = 0
+				for _, r := range res.Streams {
+					if m := r.Stats.MissRate(); m > worstMiss {
+						worstMiss = m
+					}
+				}
+			}
+			b.ReportMetric(fps, "frames/s")
+			b.ReportMetric(worstMiss*100, "worst-miss-%")
 		})
 	}
 }

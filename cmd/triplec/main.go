@@ -7,6 +7,11 @@
 // Usage:
 //
 //	triplec [-frames n] [-seed s] [-train n] [-quiet]
+//	triplec serve [-streams n] [-frames n] [-cores n] [-csv out.csv]
+//
+// The serve subcommand runs the concurrent multi-stream serving layer: N
+// independent streams share the modeled machine under the global core
+// arbiter (see internal/stream).
 package main
 
 import (
@@ -23,6 +28,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "triplec serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	frames := flag.Int("frames", 200, "frames to process")
 	seed := flag.Uint64("seed", 7, "synthetic-sequence seed")
 	train := flag.Int("train", 6, "training sequences")

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"triplec/internal/experiments"
+	"triplec/internal/sched"
+	"triplec/internal/stream"
+)
+
+// runServe implements the `triplec serve` subcommand: it trains the
+// Triple-C models once, then serves N independent synthetic streams
+// concurrently under the global core arbiter and prints the per-stream
+// serving statistics.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	streams := fs.Int("streams", 2, "number of concurrent streams")
+	frames := fs.Int("frames", 120, "frames to serve per stream")
+	seed := fs.Uint64("seed", 7, "base synthetic-sequence seed")
+	train := fs.Int("train", 4, "training sequences")
+	cores := fs.Int("cores", 0, "modeled machine cores to arbitrate (0 = platform default)")
+	workers := fs.Int("workers", 0, "host worker-pool size (0 = GOMAXPROCS)")
+	rebalance := fs.Int("rebalance", 4, "demand reports between core re-divisions")
+	skipOver := fs.Float64("skip-over", 2.0, "aggregate load ratio beyond which frames are shed")
+	csvPath := fs.String("csv", "", "write the merged per-stream series to this CSV file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *streams < 1 {
+		return fmt.Errorf("serve: need at least one stream, got %d", *streams)
+	}
+
+	study := experiments.DefaultStudy()
+	study.TrainSeqs = *train
+	study.TrainFrames = 60
+
+	fmt.Printf("training Triple-C on %d sequences x %d frames...\n", study.TrainSeqs, study.TrainFrames)
+	cfgs := make([]stream.Config, *streams)
+	for i := range cfgs {
+		p, err := study.TrainPredictor()
+		if err != nil {
+			return err
+		}
+		mgr, err := sched.NewManager(p, study.Arch)
+		if err != nil {
+			return err
+		}
+		mgr.Sticky = true
+		eng, err := study.Engine()
+		if err != nil {
+			return err
+		}
+		seq, err := study.Sequence(*seed + uint64(i)*1013)
+		if err != nil {
+			return err
+		}
+		cfgs[i] = stream.Config{
+			Name:        fmt.Sprintf("stream%d", i),
+			Engine:      eng,
+			Manager:     mgr,
+			Source:      experiments.Source(seq),
+			FramePixels: study.FramePixels(),
+		}
+	}
+
+	srv, err := stream.NewServer(stream.ServerConfig{
+		ModelCores:     *cores,
+		HostWorkers:    *workers,
+		RebalanceEvery: *rebalance,
+		SkipOver:       *skipOver,
+	}, cfgs)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("serving %d streams x %d frames on %d host cores...\n",
+		*streams, *frames, runtime.GOMAXPROCS(0))
+	res, err := srv.Run(*frames)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%-10s %9s %9s %9s %9s %9s %11s %11s %9s\n",
+		"stream", "processed", "skipped", "serial", "misses", "acct-err", "budget(ms)", "mean(ms)", "fps")
+	for _, s := range res.Streams {
+		st := s.Stats
+		fmt.Printf("%-10s %9d %9d %9d %9d %9d %11.1f %11.1f %9.1f\n",
+			st.Name, st.Processed, st.Skipped, st.SerialFallbacks, st.DeadlineMisses,
+			st.AccountingErrs, st.BudgetMs, st.MeanLatencyMs, st.ThroughputFPS)
+	}
+	fmt.Printf("\naggregate: %.1f frames/s over %.0f ms wall clock, %d rebalances, final core split %v\n",
+		res.AggregateFPS, res.WallMs, res.Rebalances, res.FinalBudgets)
+
+	if *csvPath != "" {
+		merged, err := res.MergedTrace()
+		if err != nil {
+			return err
+		}
+		file, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		if err := merged.WriteCSV(file); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *csvPath)
+	}
+	return nil
+}

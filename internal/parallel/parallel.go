@@ -12,6 +12,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ForStripes splits the half-open index range [0, n) into k contiguous
@@ -64,29 +65,21 @@ func Map(n, k int, fn func(i int)) {
 		}
 		return
 	}
-	var next int64
-	var mu sync.Mutex
-	take := func() (int, bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		if next >= int64(n) {
-			return 0, false
-		}
-		i := int(next)
-		next++
-		return i, true
-	}
+	// Lock-free work counter: workers claim indices with a single atomic
+	// increment, so the shared queue adds no mutex contention even when
+	// several streams drive pools on the same host.
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(k)
 	for w := 0; w < k; w++ {
 		go func() {
 			defer wg.Done()
 			for {
-				i, ok := take()
-				if !ok {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
 					return
 				}
-				fn(i)
+				fn(int(i))
 			}
 		}()
 	}
@@ -140,6 +133,25 @@ func (p *Pool) Submit(job func()) error {
 
 // Wait blocks until every job submitted so far has finished.
 func (p *Pool) Wait() { p.wg.Wait() }
+
+// Do runs job on a pool worker and blocks until it completes. Callers from
+// independent goroutines thereby share the pool's fixed concurrency: with k
+// workers at most k Do bodies execute at once, which is how the stream
+// serving layer keeps N streams from oversubscribing the host's cores.
+func (p *Pool) Do(job func()) error {
+	if job == nil {
+		return errors.New("parallel: nil job")
+	}
+	done := make(chan struct{})
+	if err := p.Submit(func() {
+		defer close(done)
+		job()
+	}); err != nil {
+		return err
+	}
+	<-done
+	return nil
+}
 
 // Close drains the pool and stops the workers. Idempotent.
 func (p *Pool) Close() {

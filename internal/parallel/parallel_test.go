@@ -183,3 +183,74 @@ func TestPropertyStripesPartition(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Regression for the atomic work counter: many Map calls racing on separate
+// counters must still each visit every index exactly once (run with -race).
+func TestMapConcurrentCallers(t *testing.T) {
+	const n, callers = 300, 6
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for c := 0; c < callers; c++ {
+		go func() {
+			defer wg.Done()
+			var hits [n]int32
+			Map(n, 4, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Errorf("index %d visited %d times", i, h)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Do must block the caller until the job completes and bound the number of
+// concurrently executing bodies at the pool size even with more callers.
+func TestPoolDoBoundsConcurrency(t *testing.T) {
+	const workers, callers = 3, 12
+	p := NewPool(workers)
+	defer p.Close()
+	var inFlight, peak int64
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for c := 0; c < callers; c++ {
+		go func() {
+			defer wg.Done()
+			ran := false
+			err := p.Do(func() {
+				cur := atomic.AddInt64(&inFlight, 1)
+				for {
+					old := atomic.LoadInt64(&peak)
+					if cur <= old || atomic.CompareAndSwapInt64(&peak, old, cur) {
+						break
+					}
+				}
+				ran = true
+				atomic.AddInt64(&inFlight, -1)
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			if !ran {
+				t.Error("Do returned before the job ran")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := atomic.LoadInt64(&peak); got > workers {
+		t.Fatalf("peak concurrency %d exceeds pool size %d", got, workers)
+	}
+}
+
+func TestPoolDoErrors(t *testing.T) {
+	p := NewPool(1)
+	if err := p.Do(nil); err == nil {
+		t.Fatal("nil job accepted")
+	}
+	p.Close()
+	if err := p.Do(func() {}); err == nil {
+		t.Fatal("Do after close accepted")
+	}
+}

@@ -8,6 +8,7 @@ package pipeline
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"triplec/internal/bandwidth"
 	"triplec/internal/flowgraph"
@@ -64,6 +65,11 @@ type Report struct {
 	Candidates     int          // marker candidates found
 	Output         *frame.Frame // zoomed enhanced output (nil unless produced)
 	Mapping        partition.Mapping
+	// AccountingErrs collects non-fatal bookkeeping failures (e.g. the
+	// intra-task bandwidth model rejecting the configured L2 size): the
+	// frame still processes, but its memory-traffic charge is incomplete
+	// and downstream consumers must not treat the cost as trustworthy.
+	AccountingErrs []string
 }
 
 // TaskMs returns the execution time of the named task within the report, or
@@ -89,6 +95,13 @@ func (r Report) Ran(name tasks.Name) bool {
 
 // Engine holds the task instances and the inter-frame state (previous
 // couple, estimated ROI, temporal-integration stack).
+//
+// Concurrency contract: an Engine is owned by exactly one goroutine at a
+// time. Process and RunSequence mutate the inter-frame state, so concurrent
+// calls on the same Engine are a data race; calls on *distinct* Engines are
+// safe to run concurrently (the constructor shares no mutable state between
+// instances). The multi-stream serving layer in internal/stream relies on
+// this one-engine-per-goroutine discipline.
 type Engine struct {
 	cfg     Config
 	machine *platform.Machine
@@ -115,11 +128,17 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Width <= 0 || cfg.Height <= 0 {
 		return nil, errors.New("pipeline: invalid frame dimensions")
 	}
-	if cfg.MarkerSpacing <= 0 {
+	if cfg.MarkerSpacing <= 0 || math.IsNaN(cfg.MarkerSpacing) {
 		return nil, errors.New("pipeline: marker spacing must be positive")
+	}
+	if cfg.ModelFrameKB < 0 {
+		return nil, fmt.Errorf("pipeline: model frame size %d KB is negative", cfg.ModelFrameKB)
 	}
 	if cfg.ModelFrameKB == 0 {
 		cfg.ModelFrameKB = memmodel.PaperFrameKB
+	}
+	if cfg.FrameRate < 0 || math.IsNaN(cfg.FrameRate) {
+		return nil, fmt.Errorf("pipeline: frame rate %v Hz is invalid", cfg.FrameRate)
 	}
 	if cfg.FrameRate == 0 {
 		cfg.FrameRate = 30
@@ -172,6 +191,9 @@ func (e *Engine) charge(rep *Report, name tasks.Name, cost platform.Cost, rdgOn 
 	kb, err := bandwidth.IntraTaskKB(name, rdgOn, e.cfg.ModelFrameKB, e.cfg.Arch.L2.SizeBytes/1024)
 	if err == nil {
 		cost.MemBytes += float64(kb) * 1024
+	} else {
+		rep.AccountingErrs = append(rep.AccountingErrs,
+			fmt.Sprintf("%s: bandwidth accounting: %v", name, err))
 	}
 	k := m.StripesFor(name)
 	ms := e.machine.StripedMs(cost, k)
@@ -280,9 +302,16 @@ func (e *Engine) RunSequence(n int, source func(int) *frame.Frame, m partition.M
 	if n <= 0 {
 		return nil, errors.New("pipeline: need at least one frame")
 	}
+	if source == nil {
+		return nil, errors.New("pipeline: nil frame source")
+	}
 	reports := make([]Report, 0, n)
 	for i := 0; i < n; i++ {
-		rep, err := e.Process(source(i), m)
+		f := source(i)
+		if f == nil {
+			return nil, fmt.Errorf("pipeline: frame %d: source returned nil frame", i)
+		}
+		rep, err := e.Process(f, m)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: frame %d: %w", i, err)
 		}

@@ -1,0 +1,240 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// This file adds the dynamic cross-stream core re-allocation used by the
+// multi-stream serving layer (internal/stream): RunMultiApp in multi.go
+// co-schedules applications under *static* budgets fixed up front, while a
+// MultiManager re-divides the machine between streams every control period
+// from their latest Triple-C predictions — the arbitration shape of
+// "Resource Allocation for Multiple Concurrent In-Network Stream-Processing
+// Applications" (Benoit et al., 2009) applied to the paper's runtime
+// manager.
+
+// PredictedDemandMs is the manager's per-frame demand signal for
+// cross-stream arbitration: the summed per-task Triple-C predictions for
+// the scenario the stream is currently in (the most recently observed one).
+// Conditioning on the observed scenario instead of the scenario table's
+// most-likely successor matters for arbitration: the per-task models adapt
+// online, so a stream stuck in a cheap degenerate mode (say, registration
+// failing every frame) reports its true few-ms demand even though the
+// offline-trained table still predicts a switch back to the full pipeline.
+// Before any observation it falls back to the worst-case forecast.
+func (m *Manager) PredictedDemandMs() float64 {
+	if last, ok := m.predictor.LastScenario(); ok {
+		return m.predictor.PredictForTasks(last.ActiveTasks(), m.predictor.NextContext())
+	}
+	return m.predictor.PredictNext().TotalMs
+}
+
+// SplitCores divides total cores across applications proportionally to
+// their predicted per-frame demand (ms of serial work), guaranteeing every
+// application at least one core. The fractional shares are settled by
+// largest remainder so the budgets always sum to exactly total (or to
+// len(demands) when there are more applications than cores — the shared
+// worker pool then serializes the overflow). Zero or negative demands are
+// treated as zero and receive only the one-core floor.
+func SplitCores(total int, demands []float64) ([]int, error) {
+	n := len(demands)
+	if n == 0 {
+		return nil, fmt.Errorf("sched: no demands to split %d cores over", total)
+	}
+	if total < 1 {
+		return nil, fmt.Errorf("sched: cannot split %d cores", total)
+	}
+	budgets := make([]int, n)
+	for i := range budgets {
+		budgets[i] = 1
+	}
+	spare := total - n
+	if spare <= 0 {
+		return budgets, nil
+	}
+	sum := 0.0
+	for _, d := range demands {
+		if d > 0 && !math.IsNaN(d) && !math.IsInf(d, 0) {
+			sum += d
+		}
+	}
+	if sum <= 0 {
+		// No demand signal yet: round-robin the spare cores.
+		for i := 0; i < spare; i++ {
+			budgets[i%n]++
+		}
+		return budgets, nil
+	}
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, n)
+	given := 0
+	for i, d := range demands {
+		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			d = 0
+		}
+		share := d / sum * float64(spare)
+		whole := int(share)
+		budgets[i] += whole
+		given += whole
+		rems[i] = rem{idx: i, frac: share - float64(whole)}
+	}
+	// Largest remainder first; ties broken by index for determinism.
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].frac != rems[b].frac {
+			return rems[a].frac > rems[b].frac
+		}
+		return rems[a].idx < rems[b].idx
+	})
+	for i := 0; given < spare; i++ {
+		budgets[rems[i%n].idx]++
+		given++
+	}
+	return budgets, nil
+}
+
+// CoreNeed returns how many cores an application needs to bring demandMs of
+// predicted serial work under its budgetMs deadline, assuming the striping
+// scales ideally, clamped to [1, maxCores]. It is deliberately optimistic —
+// the manager's own Plan applies the Amdahl correction — so the arbiter uses
+// it only as a load signal, not as a guarantee.
+func CoreNeed(demandMs, budgetMs float64, maxCores int) int {
+	if maxCores < 1 {
+		maxCores = 1
+	}
+	if demandMs <= 0 || budgetMs <= 0 || math.IsNaN(demandMs) || math.IsNaN(budgetMs) {
+		return 1
+	}
+	need := int(math.Ceil(demandMs / budgetMs))
+	if need < 1 {
+		need = 1
+	}
+	if need > maxCores {
+		need = maxCores
+	}
+	return need
+}
+
+// MultiManager arbitrates one machine's cores across several concurrently
+// running streams. Streams report their per-frame predicted demand from
+// their own goroutines; Rebalance re-divides the cores proportionally. The
+// MultiManager never touches the streams' Managers directly — each stream
+// reads its budget with BudgetFor and applies it to its own Manager, so the
+// Manager itself stays single-goroutine (see the Engine concurrency
+// contract in internal/pipeline).
+//
+// Reported demands are smoothed with an EWMA before the split: per-frame
+// Triple-C predictions swing with the data-dependent scenario (a stream
+// whose registration fails every other frame alternates between the cheap
+// and the full pipeline), and re-dividing cores on every swing would thrash
+// the allocation. The filter tracks each stream's demand level the same way
+// the paper's Eq. 1 EWMA tracks long-term task-time structure.
+//
+// All methods are safe for concurrent use.
+type MultiManager struct {
+	// Alpha is the demand-smoothing factor in (0, 1]; 1 disables smoothing.
+	// Mutate only before the first ReportDemand.
+	Alpha float64
+
+	mu         sync.Mutex
+	totalCores int
+	demands    []float64
+	seen       []bool
+	budgets    []int
+	rebalances int
+}
+
+// NewMultiManager builds an arbiter for n streams over totalCores host
+// cores. Initially every stream holds an equal share.
+func NewMultiManager(totalCores, n int) (*MultiManager, error) {
+	if totalCores < 1 {
+		return nil, fmt.Errorf("sched: multi-manager needs at least one core, got %d", totalCores)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("sched: multi-manager needs at least one stream, got %d", n)
+	}
+	mm := &MultiManager{
+		Alpha:      0.25,
+		totalCores: totalCores,
+		demands:    make([]float64, n),
+		seen:       make([]bool, n),
+		budgets:    make([]int, n),
+	}
+	even, err := SplitCores(totalCores, mm.demands)
+	if err != nil {
+		return nil, err
+	}
+	mm.budgets = even
+	return mm, nil
+}
+
+// TotalCores returns the machine size being arbitrated.
+func (mm *MultiManager) TotalCores() int { return mm.totalCores }
+
+// ReportDemand folds stream i's latest predicted serial demand (ms) into
+// its smoothed demand level.
+func (mm *MultiManager) ReportDemand(i int, predictedMs float64) {
+	if math.IsNaN(predictedMs) || math.IsInf(predictedMs, 0) || predictedMs < 0 {
+		return
+	}
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	if i < 0 || i >= len(mm.demands) {
+		return
+	}
+	a := mm.Alpha
+	if a <= 0 || a > 1 {
+		a = 1
+	}
+	if !mm.seen[i] {
+		mm.demands[i] = predictedMs
+		mm.seen[i] = true
+		return
+	}
+	mm.demands[i] = (1-a)*mm.demands[i] + a*predictedMs
+}
+
+// Rebalance re-divides the cores from the currently reported demands and
+// returns a copy of the new per-stream budgets.
+func (mm *MultiManager) Rebalance() []int {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	if b, err := SplitCores(mm.totalCores, mm.demands); err == nil {
+		mm.budgets = b
+		mm.rebalances++
+	}
+	out := make([]int, len(mm.budgets))
+	copy(out, mm.budgets)
+	return out
+}
+
+// BudgetFor returns stream i's current core budget.
+func (mm *MultiManager) BudgetFor(i int) int {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	if i < 0 || i >= len(mm.budgets) {
+		return 1
+	}
+	return mm.budgets[i]
+}
+
+// Rebalances returns how many re-divisions have been applied.
+func (mm *MultiManager) Rebalances() int {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	return mm.rebalances
+}
+
+// Demands returns a copy of the latest reported per-stream demands.
+func (mm *MultiManager) Demands() []float64 {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	out := make([]float64, len(mm.demands))
+	copy(out, mm.demands)
+	return out
+}

@@ -1,0 +1,189 @@
+package sched
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestSplitCoresProportional(t *testing.T) {
+	b, err := SplitCores(8, []float64{30, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0]+b[1] != 8 {
+		t.Fatalf("budgets %v do not sum to 8", b)
+	}
+	if b[0] <= b[1] {
+		t.Fatalf("heavier demand got %d cores, lighter got %d", b[0], b[1])
+	}
+}
+
+func TestSplitCoresFloorsAtOne(t *testing.T) {
+	b, err := SplitCores(4, []float64{1000, 0, -5, math.NaN()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, v := range b {
+		if v < 1 {
+			t.Fatalf("stream %d got %d cores", i, v)
+		}
+		total += v
+	}
+	if total != 4 {
+		t.Fatalf("budgets %v do not sum to 4", b)
+	}
+}
+
+func TestSplitCoresMoreStreamsThanCores(t *testing.T) {
+	b, err := SplitCores(2, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range b {
+		if v != 1 {
+			t.Fatalf("stream %d got %d cores, want the one-core floor", i, v)
+		}
+	}
+}
+
+func TestSplitCoresNoDemandSignal(t *testing.T) {
+	b, err := SplitCores(8, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 4 || b[1] != 4 {
+		t.Fatalf("even split expected, got %v", b)
+	}
+}
+
+func TestSplitCoresValidation(t *testing.T) {
+	if _, err := SplitCores(8, nil); err == nil {
+		t.Fatal("empty demand list accepted")
+	}
+	if _, err := SplitCores(0, []float64{1}); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+}
+
+func TestSplitCoresExactSum(t *testing.T) {
+	// Largest-remainder settlement must hit the total exactly for awkward
+	// fractions.
+	for total := 1; total <= 16; total++ {
+		b, err := SplitCores(total, []float64{1, 2, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0
+		for _, v := range b {
+			sum += v
+		}
+		want := total
+		if want < len(b) {
+			want = len(b)
+		}
+		if sum != want {
+			t.Fatalf("total %d: budgets %v sum to %d, want %d", total, b, sum, want)
+		}
+	}
+}
+
+func TestCoreNeed(t *testing.T) {
+	cases := []struct {
+		demand, budget float64
+		maxCores, want int
+	}{
+		{40, 40, 8, 1},
+		{41, 40, 8, 2},
+		{200, 10, 8, 8}, // clamped
+		{0, 40, 8, 1},
+		{40, 0, 8, 1},
+		{math.NaN(), 40, 8, 1},
+		{40, 40, 0, 1},
+	}
+	for _, c := range cases {
+		if got := CoreNeed(c.demand, c.budget, c.maxCores); got != c.want {
+			t.Fatalf("CoreNeed(%v, %v, %d) = %d, want %d", c.demand, c.budget, c.maxCores, got, c.want)
+		}
+	}
+}
+
+func TestMultiManagerRebalance(t *testing.T) {
+	mm, err := NewMultiManager(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := mm.BudgetFor(0); b != 4 {
+		t.Fatalf("initial budget = %d, want even 4", b)
+	}
+	mm.ReportDemand(0, 60)
+	mm.ReportDemand(1, 20)
+	b := mm.Rebalance()
+	if b[0] <= b[1] {
+		t.Fatalf("rebalance ignored demand: %v", b)
+	}
+	if mm.Rebalances() != 1 {
+		t.Fatalf("rebalances = %d, want 1", mm.Rebalances())
+	}
+	if d := mm.Demands(); d[0] != 60 || d[1] != 20 {
+		t.Fatalf("demands = %v", d)
+	}
+}
+
+func TestMultiManagerValidation(t *testing.T) {
+	if _, err := NewMultiManager(0, 2); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	if _, err := NewMultiManager(8, 0); err == nil {
+		t.Fatal("zero streams accepted")
+	}
+}
+
+// Concurrent reporting and rebalancing must be race-free (run with -race)
+// and keep every budget within [1, total].
+func TestMultiManagerConcurrent(t *testing.T) {
+	const streams = 4
+	mm, err := NewMultiManager(8, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(streams)
+	for s := 0; s < streams; s++ {
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				mm.ReportDemand(s, float64(10+s*7+i%13))
+				if i%10 == 0 {
+					mm.Rebalance()
+				}
+				if b := mm.BudgetFor(s); b < 1 || b > 8 {
+					t.Errorf("stream %d budget %d out of range", s, b)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	total := 0
+	for s := 0; s < streams; s++ {
+		total += mm.BudgetFor(s)
+	}
+	if total != 8 {
+		t.Fatalf("budgets sum to %d, want 8", total)
+	}
+}
+
+// Out-of-range indices must be ignored, not panic.
+func TestMultiManagerIndexBounds(t *testing.T) {
+	mm, err := NewMultiManager(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm.ReportDemand(-1, 10)
+	mm.ReportDemand(5, 10)
+	if b := mm.BudgetFor(-1); b != 1 {
+		t.Fatalf("out-of-range budget = %d, want the one-core floor", b)
+	}
+}

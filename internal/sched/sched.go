@@ -79,6 +79,9 @@ func NewManager(p *core.Predictor, arch platform.Arch) (*Manager, error) {
 // Predictor exposes the wrapped predictor.
 func (m *Manager) Predictor() *core.Predictor { return m.predictor }
 
+// Arch exposes the architecture the manager plans for.
+func (m *Manager) Arch() platform.Arch { return m.arch }
+
 // InitBudget sets the latency budget from the first processed frame per the
 // paper's initialization step: "the output latency is set to an initial
 // value (close to average case)". The manager takes the first frame's

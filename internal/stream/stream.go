@@ -1,0 +1,335 @@
+// Package stream is the concurrent multi-stream serving layer: it runs N
+// independent imaging streams — each with its own pipeline.Engine, trained
+// core.Predictor and sched.Manager — over one shared host, arbitrated by a
+// global controller that re-divides the modeled machine's cores across the
+// streams from their per-frame Triple-C predictions and sheds load
+// gracefully (serial fallback, then alternate-frame skipping) when the
+// aggregate predicted demand exceeds the machine.
+//
+// Two resources are managed at once:
+//
+//   - the modeled platform's cores (the paper's 8-core Blackford): divided
+//     between the streams' runtime managers by a sched.MultiManager so
+//     every stream plans its striping within its current share, and
+//   - the host's actual cores: all frame processing funnels through one
+//     bounded parallel.Pool, so N streams never oversubscribe the machine
+//     the reproduction really runs on.
+//
+// Concurrency discipline: each stream is driven by exactly one goroutine
+// that owns its Engine and Manager (see the Engine concurrency contract in
+// internal/pipeline); goroutines communicate only through the controller,
+// whose state is mutex-guarded.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"triplec/internal/core"
+	"triplec/internal/frame"
+	"triplec/internal/parallel"
+	"triplec/internal/partition"
+	"triplec/internal/pipeline"
+	"triplec/internal/sched"
+	"triplec/internal/trace"
+)
+
+// Config describes one stream to serve.
+type Config struct {
+	Name        string
+	Engine      *pipeline.Engine
+	Manager     *sched.Manager
+	Source      func(int) *frame.Frame
+	FramePixels int
+	// BudgetMs is the per-frame latency deadline. 0 initializes it from
+	// the first processed frame like the paper's runtime manager does.
+	BudgetMs float64
+}
+
+// ServerConfig tunes the serving layer.
+type ServerConfig struct {
+	// ModelCores is the modeled machine size the controller divides across
+	// streams. 0 defaults to the first stream's architecture.
+	ModelCores int
+	// HostWorkers bounds concurrent frame processing on the host (the
+	// shared pool size). 0 defaults to GOMAXPROCS.
+	HostWorkers int
+	// RebalanceEvery is the number of per-stream demand reports between
+	// controller re-divisions (default 4).
+	RebalanceEvery int
+	// SkipOver is the aggregate load ratio (predicted core need / machine
+	// cores) beyond which under-allocated streams skip alternate frames
+	// (default 2.0).
+	SkipOver float64
+}
+
+func (c ServerConfig) withDefaults(streams []Config) ServerConfig {
+	if c.ModelCores == 0 && len(streams) > 0 {
+		c.ModelCores = streams[0].Manager.Arch().NumCPUs
+	}
+	if c.RebalanceEvery <= 0 {
+		c.RebalanceEvery = 4
+	}
+	if c.SkipOver <= 0 {
+		c.SkipOver = 2.0
+	}
+	return c
+}
+
+// Stats summarizes one stream after a run.
+type Stats struct {
+	Name            string
+	Offered         int // frames offered by the source
+	Processed       int // frames actually processed
+	Skipped         int // frames shed by the controller
+	SerialFallbacks int // processed frames forced to the serial mapping
+	DeadlineMisses  int // processed frames over the stream's budget
+	AccountingErrs  int // frames with incomplete bandwidth accounting
+	BudgetMs        float64
+	MeanLatencyMs   float64
+	WorstLatencyMs  float64
+	ThroughputFPS   float64 // processed frames per wall-clock second
+}
+
+// MissRate returns the deadline-miss fraction over processed frames.
+func (s Stats) MissRate() float64 {
+	if s.Processed == 0 {
+		return 0
+	}
+	return float64(s.DeadlineMisses) / float64(s.Processed)
+}
+
+// Result is one stream's outcome.
+type Result struct {
+	Stats   Stats
+	Reports []pipeline.Report // processed frames only
+	// Trace holds aligned per-frame series (one row per *offered* frame):
+	// latency_ms, predicted_ms, cores, missed, skipped, serial.
+	Trace *trace.Trace
+	Err   error
+}
+
+// RunResult aggregates a full serving run.
+type RunResult struct {
+	Streams      []Result
+	FinalBudgets []int // per-stream core budgets when the run ended
+	Rebalances   int
+	WallMs       float64
+	AggregateFPS float64 // total processed frames per wall-clock second
+}
+
+// Server runs several streams concurrently under one global controller.
+type Server struct {
+	cfg     ServerConfig
+	streams []Config
+}
+
+// NewServer validates the stream set and builds a server.
+func NewServer(cfg ServerConfig, streams []Config) (*Server, error) {
+	if len(streams) == 0 {
+		return nil, errors.New("stream: no streams to serve")
+	}
+	for i, s := range streams {
+		if s.Engine == nil || s.Manager == nil || s.Source == nil {
+			return nil, fmt.Errorf("stream: stream %d (%q) incomplete: needs engine, manager and source", i, s.Name)
+		}
+		if s.FramePixels <= 0 {
+			return nil, fmt.Errorf("stream: stream %d (%q) has no frame geometry", i, s.Name)
+		}
+		if s.BudgetMs < 0 {
+			return nil, fmt.Errorf("stream: stream %d (%q) has negative budget", i, s.Name)
+		}
+	}
+	cfg = cfg.withDefaults(streams)
+	if cfg.ModelCores < 1 {
+		return nil, fmt.Errorf("stream: modeled machine needs at least one core, got %d", cfg.ModelCores)
+	}
+	return &Server{cfg: cfg, streams: streams}, nil
+}
+
+// Run serves n frames on every stream concurrently and returns the
+// per-stream results. A stream that fails stops early and records its error
+// in its Result; the remaining streams keep serving.
+func (s *Server) Run(n int) (RunResult, error) {
+	if n <= 0 {
+		return RunResult{}, errors.New("stream: need at least one frame")
+	}
+	mm, err := sched.NewMultiManager(s.cfg.ModelCores, len(s.streams))
+	if err != nil {
+		return RunResult{}, err
+	}
+	budgets := make([]float64, len(s.streams))
+	for i, sc := range s.streams {
+		budgets[i] = sc.BudgetMs
+	}
+	ctl := newController(mm, s.cfg.ModelCores, s.cfg.RebalanceEvery, s.cfg.SkipOver, budgets)
+	pool := parallel.NewPool(s.cfg.HostWorkers)
+	defer pool.Close()
+
+	out := RunResult{Streams: make([]Result, len(s.streams))}
+	start := time.Now()
+	done := make(chan int, len(s.streams))
+	for i := range s.streams {
+		go func(si int) {
+			out.Streams[si] = serveOne(si, s.streams[si], n, ctl, pool)
+			done <- si
+		}(i)
+	}
+	for range s.streams {
+		<-done
+	}
+	wall := time.Since(start)
+
+	out.WallMs = float64(wall.Nanoseconds()) / 1e6
+	out.Rebalances = mm.Rebalances()
+	out.FinalBudgets = mm.Rebalance()
+	processed := 0
+	var errs []error
+	for i := range out.Streams {
+		r := &out.Streams[i]
+		processed += r.Stats.Processed
+		if wall > 0 {
+			r.Stats.ThroughputFPS = float64(r.Stats.Processed) / wall.Seconds()
+		}
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("stream %q: %w", r.Stats.Name, r.Err))
+		}
+	}
+	if wall > 0 {
+		out.AggregateFPS = float64(processed) / wall.Seconds()
+	}
+	return out, errors.Join(errs...)
+}
+
+// serveOne is the per-stream goroutine body: admission, planning,
+// processing on the shared pool, observation, demand reporting.
+func serveOne(si int, sc Config, n int, ctl *controller, pool *parallel.Pool) Result {
+	res := Result{Stats: Stats{Name: sc.Name, BudgetMs: sc.BudgetMs}}
+	tr := trace.New()
+	for _, col := range []string{"latency_ms", "predicted_ms", "cores", "missed", "skipped", "serial"} {
+		if err := tr.AddEmpty(col); err != nil {
+			res.Err = err
+			return res
+		}
+	}
+	res.Trace = tr
+
+	mgr, eng := sc.Manager, sc.Engine
+	if sc.BudgetMs > 0 {
+		mgr.BudgetMs = sc.BudgetMs
+	}
+	var latencySum float64
+	for i := 0; i < n; i++ {
+		res.Stats.Offered++
+		d := ctl.directive(si, i)
+		if d.Mode == ModeSkip {
+			res.Stats.Skipped++
+			if err := tr.Append(0, 0, 0, 0, 1, 0); err != nil {
+				res.Err = err
+				return res
+			}
+			continue
+		}
+		if err := mgr.SetCoreBudget(clamp(d.Cores, 1, mgr.Arch().NumCPUs)); err != nil {
+			res.Err = err
+			return res
+		}
+		var dec sched.Decision
+		if res.Stats.Processed == 0 {
+			// Initialization frame: serial, like the paper's manager.
+			dec = sched.Decision{Mapping: partition.Serial()}
+		} else {
+			dec = mgr.Plan()
+		}
+		serialFrame := 0.0
+		if d.Mode == ModeSerial {
+			dec.Mapping = partition.Serial()
+			serialFrame = 1
+			res.Stats.SerialFallbacks++
+		}
+		f := sc.Source(i)
+		if f == nil {
+			res.Err = fmt.Errorf("frame %d: source returned nil frame", i)
+			return res
+		}
+		var rep pipeline.Report
+		var perr error
+		if err := pool.Do(func() { rep, perr = eng.Process(f, dec.Mapping) }); err != nil {
+			res.Err = err
+			return res
+		}
+		if perr != nil {
+			res.Err = fmt.Errorf("frame %d: %w", i, perr)
+			return res
+		}
+		if res.Stats.Processed == 0 && mgr.BudgetMs <= 0 {
+			mgr.InitBudget(rep.LatencyMs)
+			res.Stats.BudgetMs = mgr.BudgetMs
+			ctl.setBudgetMs(si, mgr.BudgetMs)
+		}
+		mgr.Observe(core.FromReports([]pipeline.Report{rep}, sc.FramePixels)[0])
+
+		res.Stats.Processed++
+		res.Reports = append(res.Reports, rep)
+		latencySum += rep.LatencyMs
+		if rep.LatencyMs > res.Stats.WorstLatencyMs {
+			res.Stats.WorstLatencyMs = rep.LatencyMs
+		}
+		missed := 0.0
+		if mgr.BudgetMs > 0 && rep.LatencyMs > mgr.BudgetMs {
+			res.Stats.DeadlineMisses++
+			missed = 1
+		}
+		if len(rep.AccountingErrs) > 0 {
+			res.Stats.AccountingErrs++
+		}
+		if err := tr.Append(rep.LatencyMs, dec.PredictedMs, float64(d.Cores), missed, 0, serialFrame); err != nil {
+			res.Err = err
+			return res
+		}
+		// Feed the arbiter the Triple-C demand for the scenario the stream
+		// is currently in (see Manager.PredictedDemandMs): unlike Plan's
+		// pessimistic SerialMs — which covers the scenario table's worst
+		// successor and so never drops for a stream stuck in a cheap
+		// degenerate mode — this signal adapts online per task and lets the
+		// controller shift cores between unequal streams.
+		demand := mgr.PredictedDemandMs()
+		if demand <= 0 {
+			demand = rep.LatencyMs
+		}
+		ctl.report(si, demand)
+	}
+	if res.Stats.Processed > 0 {
+		res.Stats.MeanLatencyMs = latencySum / float64(res.Stats.Processed)
+	}
+	res.Stats.BudgetMs = mgr.BudgetMs
+	return res
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// MergedTrace exports every stream's per-frame series side by side, one
+// column group per stream, prefixed with the stream name (or stream<i> when
+// unnamed).
+func (r RunResult) MergedTrace() (*trace.Trace, error) {
+	prefixes := make([]string, len(r.Streams))
+	traces := make([]*trace.Trace, len(r.Streams))
+	for i, s := range r.Streams {
+		name := s.Stats.Name
+		if name == "" {
+			name = fmt.Sprintf("stream%d", i)
+		}
+		prefixes[i] = name
+		traces[i] = s.Trace
+	}
+	return trace.Merge(prefixes, traces)
+}

@@ -100,6 +100,39 @@ func (t *Trace) Get(name string) ([]float64, error) {
 	return append([]float64(nil), t.columns[i].Values...), nil
 }
 
+// Merge combines several traces of equal length into one, prefixing every
+// series name with the corresponding prefix (joined with "_"). The serving
+// layer uses it to export the per-stream latency/throughput/deadline series
+// side by side in a single CSV.
+func Merge(prefixes []string, traces []*Trace) (*Trace, error) {
+	if len(prefixes) != len(traces) {
+		return nil, fmt.Errorf("trace: %d prefixes for %d traces", len(prefixes), len(traces))
+	}
+	if len(traces) == 0 {
+		return nil, errors.New("trace: nothing to merge")
+	}
+	out := New()
+	for ti, tr := range traces {
+		if tr == nil {
+			return nil, fmt.Errorf("trace: trace %d is nil", ti)
+		}
+		if tr.Len() != traces[0].Len() {
+			return nil, fmt.Errorf("trace: trace %q has %d frames, want %d",
+				prefixes[ti], tr.Len(), traces[0].Len())
+		}
+		for _, c := range tr.columns {
+			name := c.Name
+			if prefixes[ti] != "" {
+				name = prefixes[ti] + "_" + name
+			}
+			if err := out.Add(name, c.Values); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
 // WriteCSV emits the trace as CSV with a header row and a leading frame
 // column.
 func (t *Trace) WriteCSV(w io.Writer) error {

@@ -233,3 +233,51 @@ func TestPropertyCSVRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMergePrefixesSeries(t *testing.T) {
+	a := New()
+	if err := a.Add("latency_ms", []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	b := New()
+	if err := b.Add("latency_ms", []float64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Merge([]string{"s0", "s1"}, []*Trace{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Get("s1_latency_ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 3 || got[1] != 4 {
+		t.Fatalf("merged series = %v", got)
+	}
+	if names := m.Names(); len(names) != 2 || names[0] != "s0_latency_ms" {
+		t.Fatalf("merged names = %v", names)
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	a := New()
+	if err := a.Add("x", []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	b := New()
+	if err := b.Add("x", []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge([]string{"a"}, []*Trace{a, b}); err == nil {
+		t.Fatal("prefix/trace count mismatch accepted")
+	}
+	if _, err := Merge([]string{"a", "b"}, []*Trace{a, b}); err == nil {
+		t.Fatal("unequal lengths accepted")
+	}
+	if _, err := Merge(nil, nil); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+	if _, err := Merge([]string{"a"}, []*Trace{nil}); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+}
