@@ -1,0 +1,480 @@
+package frame
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// This file pins the central claim of the interior/border kernel split: the
+// fast paths must be bit-identical to the naive clamp-every-tap reference
+// formulations below, across arbitrary geometries — including SubFrame views
+// whose storage is a strided window into a larger parent.
+
+// ---- naive reference implementations (clamp every tap, no fast paths) ----
+
+func naiveConvolve(src *Frame, k Kernel) *Frame {
+	dst := New(src.Width(), src.Height())
+	dst.Bounds = src.Bounds
+	r := k.Side / 2
+	for y := src.Bounds.Y0; y < src.Bounds.Y1; y++ {
+		for x := src.Bounds.X0; x < src.Bounds.X1; x++ {
+			acc := 0.0
+			wi := 0
+			for dy := -r; dy <= r; dy++ {
+				for dx := -r; dx <= r; dx++ {
+					acc += k.W[wi] * float64(src.AtClamped(x+dx, y+dy))
+					wi++
+				}
+			}
+			dst.Pix[(y-src.Bounds.Y0)*dst.Stride+(x-src.Bounds.X0)] = clamp16(acc)
+		}
+	}
+	return dst
+}
+
+func naiveGaussianBlur(src *Frame, sigma float64) *Frame {
+	w := GaussianKernel1D(sigma)
+	r := len(w) / 2
+	width, height := src.Width(), src.Height()
+	tmp := New(width, height)
+	tmp.Bounds = src.Bounds
+	for y := src.Bounds.Y0; y < src.Bounds.Y1; y++ {
+		for x := src.Bounds.X0; x < src.Bounds.X1; x++ {
+			acc := 0.0
+			for i := -r; i <= r; i++ {
+				acc += w[i+r] * float64(src.AtClamped(x+i, y))
+			}
+			tmp.Pix[(y-src.Bounds.Y0)*tmp.Stride+(x-src.Bounds.X0)] = clamp16(acc)
+		}
+	}
+	dst := New(width, height)
+	dst.Bounds = src.Bounds
+	for y := src.Bounds.Y0; y < src.Bounds.Y1; y++ {
+		for x := src.Bounds.X0; x < src.Bounds.X1; x++ {
+			acc := 0.0
+			for i := -r; i <= r; i++ {
+				acc += w[i+r] * float64(tmp.AtClamped(x, y+i))
+			}
+			dst.Pix[(y-src.Bounds.Y0)*dst.Stride+(x-src.Bounds.X0)] = clamp16(acc)
+		}
+	}
+	return dst
+}
+
+func naiveMedian3x3(src *Frame) *Frame {
+	dst := New(src.Width(), src.Height())
+	dst.Bounds = src.Bounds
+	var w [9]uint16
+	for y := src.Bounds.Y0; y < src.Bounds.Y1; y++ {
+		for x := src.Bounds.X0; x < src.Bounds.X1; x++ {
+			i := 0
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					w[i] = src.AtClamped(x+dx, y+dy)
+					i++
+				}
+			}
+			s := w
+			sort.Slice(s[:], func(a, b int) bool { return s[a] < s[b] })
+			dst.Pix[(y-src.Bounds.Y0)*dst.Stride+(x-src.Bounds.X0)] = s[4]
+		}
+	}
+	return dst
+}
+
+func naiveSobel(src *Frame) *Frame {
+	dst := New(src.Width(), src.Height())
+	dst.Bounds = src.Bounds
+	for y := src.Bounds.Y0; y < src.Bounds.Y1; y++ {
+		for x := src.Bounds.X0; x < src.Bounds.X1; x++ {
+			p := func(dx, dy int) float64 { return float64(src.AtClamped(x+dx, y+dy)) }
+			gx := -p(-1, -1) - 2*p(-1, 0) - p(-1, 1) + p(1, -1) + 2*p(1, 0) + p(1, 1)
+			gy := -p(-1, -1) - 2*p(0, -1) - p(1, -1) + p(-1, 1) + 2*p(0, 1) + p(1, 1)
+			v := math.Hypot(gx, gy) / (4 * 65535) * 65535
+			dst.Pix[(y-src.Bounds.Y0)*dst.Stride+(x-src.Bounds.X0)] = clamp16(v)
+		}
+	}
+	return dst
+}
+
+func naiveHessianAt(f *Frame, x, y int) Hessian {
+	c := float64(f.AtClamped(x, y))
+	return Hessian{
+		XX: float64(f.AtClamped(x+1, y)) - 2*c + float64(f.AtClamped(x-1, y)),
+		YY: float64(f.AtClamped(x, y+1)) - 2*c + float64(f.AtClamped(x, y-1)),
+		XY: (float64(f.AtClamped(x+1, y+1)) - float64(f.AtClamped(x-1, y+1)) -
+			float64(f.AtClamped(x+1, y-1)) + float64(f.AtClamped(x-1, y-1))) / 4,
+	}
+}
+
+func naiveGradient(f *Frame, x, y int) (gx, gy float64) {
+	gx = (float64(f.AtClamped(x+1, y)) - float64(f.AtClamped(x-1, y))) / 2
+	gy = (float64(f.AtClamped(x, y+1)) - float64(f.AtClamped(x, y-1))) / 2
+	return gx, gy
+}
+
+func naiveBilinearAt(f *Frame, x, y float64) float64 {
+	x0, y0 := int(math.Floor(x)), int(math.Floor(y))
+	fx, fy := x-float64(x0), y-float64(y0)
+	v00 := float64(f.AtClamped(x0, y0))
+	v10 := float64(f.AtClamped(x0+1, y0))
+	v01 := float64(f.AtClamped(x0, y0+1))
+	v11 := float64(f.AtClamped(x0+1, y0+1))
+	return v00*(1-fx)*(1-fy) + v10*fx*(1-fy) + v01*(1-fx)*fy + v11*fx*fy
+}
+
+func naiveResize(src *Frame, w, h int) *Frame {
+	dst := New(w, h)
+	if src.Pixels() == 0 || w == 0 || h == 0 {
+		return dst
+	}
+	sx := float64(src.Width()) / float64(w)
+	sy := float64(src.Height()) / float64(h)
+	for y := 0; y < h; y++ {
+		srcY := float64(src.Bounds.Y0) + (float64(y)+0.5)*sy - 0.5
+		for x := 0; x < w; x++ {
+			srcX := float64(src.Bounds.X0) + (float64(x)+0.5)*sx - 0.5
+			dst.Pix[y*dst.Stride+x] = clamp16(naiveBilinearAt(src, srcX, srcY))
+		}
+	}
+	return dst
+}
+
+// ---- random-frame generators ----
+
+// randFrame fills a compact w x h frame with deterministic noise.
+func randFrame(rng *rand.Rand, w, h int) *Frame {
+	f := New(w, h)
+	for i := range f.Pix {
+		f.Pix[i] = uint16(rng.Intn(65536))
+	}
+	return f
+}
+
+// randROI returns a non-empty SubFrame view of a random parent strictly
+// larger than the view, so the view has a non-compact stride and offset
+// bounds — the geometry that stresses the interior row-slice arithmetic.
+func randROI(rng *rand.Rand, w, h int) *Frame {
+	pw := w + 1 + rng.Intn(8)
+	ph := h + 1 + rng.Intn(8)
+	parent := randFrame(rng, pw, ph)
+	x0 := rng.Intn(pw - w + 1)
+	y0 := rng.Intn(ph - h + 1)
+	return parent.SubFrame(R(x0, y0, x0+w, y0+h))
+}
+
+// geometries covers degenerate and awkward shapes: single pixels, single
+// rows/columns, shapes thinner than typical kernel radii, and sizes around
+// stripe boundaries.
+var geometries = [][2]int{
+	{1, 1}, {1, 7}, {7, 1}, {2, 2}, {3, 3}, {2, 9}, {9, 2},
+	{5, 5}, {8, 3}, {17, 9}, {31, 16}, {32, 32},
+}
+
+func frameVariants(rng *rand.Rand, w, h int) []*Frame {
+	return []*Frame{randFrame(rng, w, h), randROI(rng, w, h)}
+}
+
+func requireEqual(t *testing.T, ctx string, got, want *Frame) {
+	t.Helper()
+	if got.Width() != want.Width() || got.Height() != want.Height() {
+		t.Fatalf("%s: geometry %dx%d, want %dx%d",
+			ctx, got.Width(), got.Height(), want.Width(), want.Height())
+	}
+	for y := 0; y < want.Height(); y++ {
+		gr := got.Row(got.Bounds.Y0 + y)
+		wr := want.Row(want.Bounds.Y0 + y)
+		for x := range wr {
+			if gr[x] != wr[x] {
+				t.Fatalf("%s: pixel (%d,%d) = %d, want %d", ctx, x, y, gr[x], wr[x])
+			}
+		}
+	}
+}
+
+// ---- equivalence tests ----
+
+func TestConvolveMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	kernels := []int{1, 3, 5, 7}
+	for _, g := range geometries {
+		for _, src := range frameVariants(rng, g[0], g[1]) {
+			for _, side := range kernels {
+				w := make([]float64, side*side)
+				for i := range w {
+					w[i] = rng.Float64()*2 - 0.5
+				}
+				k, err := NewKernel(w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := Convolve(src, k)
+				requireEqual(t, "convolve", got, naiveConvolve(src, k))
+			}
+		}
+	}
+}
+
+func TestGaussianBlurMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sigmas := []float64{0, 0.4, 1.2, 2.0, 3.7}
+	for _, g := range geometries {
+		for _, src := range frameVariants(rng, g[0], g[1]) {
+			for _, sigma := range sigmas {
+				got := GaussianBlur(src, sigma)
+				requireEqual(t, "blur", got, naiveGaussianBlur(src, sigma))
+			}
+		}
+	}
+}
+
+func TestMedian3x3MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, g := range geometries {
+		for _, src := range frameVariants(rng, g[0], g[1]) {
+			requireEqual(t, "median", Median3x3(src), naiveMedian3x3(src))
+		}
+	}
+}
+
+func TestSobelMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, g := range geometries {
+		for _, src := range frameVariants(rng, g[0], g[1]) {
+			requireEqual(t, "sobel", Sobel(src), naiveSobel(src))
+		}
+	}
+}
+
+func TestResizeMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	targets := [][2]int{{1, 1}, {3, 5}, {8, 8}, {13, 4}, {40, 23}}
+	for _, g := range geometries {
+		for _, src := range frameVariants(rng, g[0], g[1]) {
+			for _, tg := range targets {
+				got := Resize(src, tg[0], tg[1])
+				requireEqual(t, "resize", got, naiveResize(src, tg[0], tg[1]))
+			}
+		}
+	}
+}
+
+func TestPointSamplersMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, g := range geometries {
+		for _, f := range frameVariants(rng, g[0], g[1]) {
+			b := f.Bounds
+			// Probe every pixel plus a ring outside the bounds.
+			for y := b.Y0 - 2; y < b.Y1+2; y++ {
+				for x := b.X0 - 2; x < b.X1+2; x++ {
+					if got, want := HessianAt(f, x, y), naiveHessianAt(f, x, y); got != want {
+						t.Fatalf("HessianAt(%d,%d) = %+v, want %+v", x, y, got, want)
+					}
+					ggx, ggy := Gradient(f, x, y)
+					wgx, wgy := naiveGradient(f, x, y)
+					if ggx != wgx || ggy != wgy {
+						t.Fatalf("Gradient(%d,%d) = (%v,%v), want (%v,%v)", x, y, ggx, ggy, wgx, wgy)
+					}
+					fx := float64(x) + rng.Float64()
+					fy := float64(y) + rng.Float64()
+					if got, want := BilinearAt(f, fx, fy), naiveBilinearAt(f, fx, fy); got != want {
+						t.Fatalf("BilinearAt(%v,%v) = %v, want %v", fx, fy, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIntoVariantsReuseDirtyDst checks that every Into kernel fully
+// overwrites a reused destination: leftover garbage from a previous frame
+// must never leak into the output, and the destination must actually be
+// reused (no hidden allocation swap).
+func TestIntoVariantsReuseDirtyDst(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src := randFrame(rng, 19, 13)
+	roi := randROI(rng, 19, 13)
+	k, err := NewKernel([]float64{0, -1, 0, -1, 5, -1, 0, -1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := func() *Frame {
+		d := New(19, 13)
+		for i := range d.Pix {
+			d.Pix[i] = 0xBEEF
+		}
+		return d
+	}
+	for _, in := range []*Frame{src, roi} {
+		cases := []struct {
+			name string
+			run  func(dst *Frame) *Frame
+			want *Frame
+		}{
+			{"ConvolveInto", func(d *Frame) *Frame { return ConvolveInto(d, in, k) }, naiveConvolve(in, k)},
+			{"GaussianBlurInto", func(d *Frame) *Frame { return GaussianBlurInto(d, in, 1.3) }, naiveGaussianBlur(in, 1.3)},
+			{"Median3x3Into", func(d *Frame) *Frame { return Median3x3Into(d, in) }, naiveMedian3x3(in)},
+			{"SobelInto", func(d *Frame) *Frame { return SobelInto(d, in) }, naiveSobel(in)},
+			{"ResizeInto", func(d *Frame) *Frame { return ResizeInto(d, in, 19, 13) }, naiveResize(in, 19, 13)},
+			{"ThresholdInto", func(d *Frame) *Frame { return ThresholdInto(d, in, 30000) }, Threshold(in, 30000)},
+			{"InvertInto", func(d *Frame) *Frame { return InvertInto(d, in) }, Invert(in)},
+			{"TranslateInto", func(d *Frame) *Frame { return TranslateInto(d, in, 1.7, -0.4) }, Translate(in, 1.7, -0.4)},
+		}
+		for _, tc := range cases {
+			d := dirty()
+			got := tc.run(d)
+			if got != d {
+				t.Errorf("%s: did not reuse matching destination", tc.name)
+			}
+			requireEqual(t, tc.name, got, tc.want)
+		}
+	}
+
+	// Mismatched destinations must be replaced, not written out of bounds.
+	small := New(3, 3)
+	out := ConvolveInto(small, src, k)
+	if out == small {
+		t.Fatal("ConvolveInto reused a destination with the wrong geometry")
+	}
+	requireEqual(t, "convolve-mismatch", out, naiveConvolve(src, k))
+}
+
+func TestAbsDiffIntoMatchesAbsDiff(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randFrame(rng, 11, 6)
+	b := randFrame(rng, 11, 6)
+	want, err := AbsDiff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(11, 6)
+	for i := range d.Pix {
+		d.Pix[i] = 0xBEEF
+	}
+	got, err := AbsDiffInto(d, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != d {
+		t.Error("AbsDiffInto did not reuse matching destination")
+	}
+	requireEqual(t, "absdiff", got, want)
+	if _, err := AbsDiffInto(nil, a, randFrame(rng, 5, 5)); err == nil {
+		t.Error("AbsDiffInto accepted mismatched bounds")
+	}
+}
+
+func TestAverageIntoMatchesAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	acc := NewAccumulator(9, 7)
+	if acc.AverageInto(nil) != nil {
+		t.Fatal("AverageInto before any Add must return nil")
+	}
+	for i := 0; i < 5; i++ {
+		if err := acc.Add(randFrame(rng, 9, 7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := acc.Average()
+	d := New(9, 7)
+	for i := range d.Pix {
+		d.Pix[i] = 0xBEEF
+	}
+	got := acc.AverageInto(d)
+	if got != d {
+		t.Error("AverageInto did not reuse matching destination")
+	}
+	requireEqual(t, "average", got, want)
+}
+
+func TestParallelVariantsMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	k, err := NewKernel([]float64{1. / 9, 1. / 9, 1. / 9, 1. / 9, 1. / 9, 1. / 9, 1. / 9, 1. / 9, 1. / 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range geometries {
+		for _, src := range frameVariants(rng, g[0], g[1]) {
+			for _, stripes := range []int{1, 2, 3, 8} {
+				requireEqual(t, "blur-parallel",
+					GaussianBlurParallel(src, 1.2, stripes), GaussianBlur(src, 1.2))
+				requireEqual(t, "convolve-parallel",
+					ConvolveParallel(src, k, stripes), Convolve(src, k))
+				requireEqual(t, "resize-parallel",
+					ResizeParallel(src, 10, 10, stripes), Resize(src, 10, 10))
+			}
+		}
+	}
+}
+
+// ---- pool sanity ----
+
+func TestPoolRecyclesZeroed(t *testing.T) {
+	var p Pool
+	f := p.Get(16, 8)
+	if f.Width() != 16 || f.Height() != 8 || f.Stride != 16 {
+		t.Fatalf("bad pooled geometry: %dx%d stride %d", f.Width(), f.Height(), f.Stride)
+	}
+	for i := range f.Pix {
+		f.Pix[i] = 0xAAAA
+	}
+	p.Put(f)
+	g := p.Get(16, 8)
+	for i, v := range g.Pix {
+		if v != 0 {
+			t.Fatalf("Get returned dirty pixel %d = %#x", i, v)
+		}
+	}
+	// A smaller request may reuse the same storage; geometry must be exact.
+	p.Put(g)
+	h := p.Get(3, 3)
+	if h.Width() != 3 || h.Height() != 3 || len(h.Pix) != 9 || h.Stride != 3 {
+		t.Fatalf("bad reshaped geometry: %dx%d stride %d len %d",
+			h.Width(), h.Height(), h.Stride, len(h.Pix))
+	}
+	for i, v := range h.Pix {
+		if v != 0 {
+			t.Fatalf("reshaped Get returned dirty pixel %d = %#x", i, v)
+		}
+	}
+}
+
+func TestPoolDegenerateSizes(t *testing.T) {
+	var p Pool
+	z := p.Get(0, 0)
+	if z.Pixels() != 0 {
+		t.Fatal("zero-size Get must return an empty frame")
+	}
+	p.Put(z)   // no-op
+	p.Put(nil) // no-op
+	one := p.Get(1, 1)
+	if len(one.Pix) != 1 {
+		t.Fatalf("1x1 Get returned %d pixels", len(one.Pix))
+	}
+	p.Put(one)
+}
+
+func TestBorrowReleaseRoundTrip(t *testing.T) {
+	f := Borrow(12, 5)
+	for _, v := range f.Pix {
+		if v != 0 {
+			t.Fatal("Borrow returned dirty frame")
+		}
+	}
+	f.Fill(0x1234)
+	Release(f)
+	g := Borrow(12, 5)
+	for _, v := range g.Pix {
+		if v != 0 {
+			t.Fatal("Borrow after Release returned dirty frame")
+		}
+	}
+	u := BorrowUninit(12, 5)
+	if u.Width() != 12 || u.Height() != 5 {
+		t.Fatal("BorrowUninit bad geometry")
+	}
+	Release(g)
+	Release(u)
+}

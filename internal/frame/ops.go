@@ -3,7 +3,21 @@ package frame
 import (
 	"errors"
 	"math"
+	"sync"
 )
+
+// The stencil kernels in this file are split into a fast interior path and a
+// thin clamped border path. The interior path indexes Pix directly with
+// hoisted strides — no per-pixel bounds clamps — while the border of radius
+// r falls back to AtClamped. Both paths accumulate in exactly the same
+// order, so the split output is bit-identical to the naive
+// clamp-every-tap formulation (the equivalence tests in equiv_test.go and
+// fuzz_test.go pin this).
+//
+// Every kernel also has a ...Into variant that reuses a caller-supplied
+// destination when its geometry matches, so steady-state per-frame
+// processing allocates nothing (see pool.go for the buffer pool the task
+// layer feeds these from).
 
 // Kernel is a square convolution kernel with odd side length.
 type Kernel struct {
@@ -21,26 +35,85 @@ func NewKernel(w []float64) (Kernel, error) {
 	return Kernel{Side: side, W: w}, nil
 }
 
+// ensureDst returns dst when it can hold a compact w x h image (Stride == w
+// and exactly w*h pixels), rebounded to bounds; otherwise it allocates a
+// fresh frame. Into-variants use it so callers can blindly thread a reused
+// destination (possibly nil) through per-frame loops.
+func ensureDst(dst *Frame, w, h int, bounds Rect) *Frame {
+	if dst != nil && dst.Stride == w && len(dst.Pix) == w*h && w > 0 {
+		dst.Bounds = bounds
+		return dst
+	}
+	out := New(w, h)
+	out.Bounds = bounds
+	return out
+}
+
 // Convolve applies k to src with replicate borders and returns a new frame
 // of the same bounds. Results are clamped to [0, 65535].
 func Convolve(src *Frame, k Kernel) *Frame {
-	dst := New(src.Width(), src.Height())
-	dst.Bounds = src.Bounds
+	return ConvolveInto(nil, src, k)
+}
+
+// ConvolveInto is Convolve writing into dst (reused when its geometry
+// matches, freshly allocated otherwise; dst may be nil). dst must not alias
+// src. It returns the destination actually used.
+func ConvolveInto(dst, src *Frame, k Kernel) *Frame {
+	dst = ensureDst(dst, src.Width(), src.Height(), src.Bounds)
+	convolveRows(dst, src, k, src.Bounds.Y0, src.Bounds.Y1)
+	return dst
+}
+
+// convolveRows convolves the absolute row range [yLo, yHi) of src into dst.
+// The row range split lets the parallel variant stripe the same code.
+func convolveRows(dst, src *Frame, k Kernel, yLo, yHi int) {
+	b := src.Bounds
 	r := k.Side / 2
-	for y := src.Bounds.Y0; y < src.Bounds.Y1; y++ {
-		for x := src.Bounds.X0; x < src.Bounds.X1; x++ {
-			acc := 0.0
-			wi := 0
-			for dy := -r; dy <= r; dy++ {
-				for dx := -r; dx <= r; dx++ {
-					acc += k.W[wi] * float64(src.AtClamped(x+dx, y+dy))
-					wi++
-				}
+	xLoI, xHiI := b.X0+r, b.X1-r // interior column span (may be empty)
+	for y := yLo; y < yHi; y++ {
+		d0 := (y - b.Y0) * dst.Stride
+		drow := dst.Pix[d0 : d0+b.Width()]
+		if y-b.Y0 >= r && b.Y1-y > r && xHiI > xLoI {
+			for x := b.X0; x < xLoI; x++ {
+				drow[x-b.X0] = convolveClamped(src, k, r, x, y)
 			}
-			dst.Pix[(y-src.Bounds.Y0)*dst.Stride+(x-src.Bounds.X0)] = clamp16(acc)
+			base := (y-r-b.Y0)*src.Stride - b.X0 - r
+			for x := xLoI; x < xHiI; x++ {
+				acc := 0.0
+				wi := 0
+				off := base + x
+				for dy := 0; dy < k.Side; dy++ {
+					row := src.Pix[off : off+k.Side]
+					for j, wv := range k.W[wi : wi+k.Side] {
+						acc += wv * float64(row[j])
+					}
+					wi += k.Side
+					off += src.Stride
+				}
+				drow[x-b.X0] = clamp16(acc)
+			}
+			for x := xHiI; x < b.X1; x++ {
+				drow[x-b.X0] = convolveClamped(src, k, r, x, y)
+			}
+		} else {
+			for x := b.X0; x < b.X1; x++ {
+				drow[x-b.X0] = convolveClamped(src, k, r, x, y)
+			}
 		}
 	}
-	return dst
+}
+
+// convolveClamped is the border path: every tap goes through AtClamped.
+func convolveClamped(src *Frame, k Kernel, r, x, y int) uint16 {
+	acc := 0.0
+	wi := 0
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			acc += k.W[wi] * float64(src.AtClamped(x+dx, y+dy))
+			wi++
+		}
+	}
+	return clamp16(acc)
 }
 
 // GaussianKernel1D returns a normalized 1-D Gaussian of the given sigma,
@@ -66,36 +139,128 @@ func GaussianKernel1D(sigma float64) []float64 {
 	return w
 }
 
+// gaussCache memoizes GaussianKernel1D per sigma so the per-frame blur path
+// allocates no kernel weights. The cache is capped: past 64 distinct sigmas
+// (only tests sweep that many) new sigmas compute without being stored.
+var (
+	gaussMu    sync.Mutex
+	gaussCache = make(map[float64][]float64)
+)
+
+func gaussianKernel(sigma float64) []float64 {
+	gaussMu.Lock()
+	w, ok := gaussCache[sigma]
+	gaussMu.Unlock()
+	if ok {
+		return w
+	}
+	w = GaussianKernel1D(sigma)
+	gaussMu.Lock()
+	if len(gaussCache) < 64 {
+		gaussCache[sigma] = w
+	}
+	gaussMu.Unlock()
+	return w
+}
+
 // GaussianBlur applies a separable Gaussian of the given sigma (two 1-D
 // passes), the standard pre-smoothing step of the ridge filter.
 func GaussianBlur(src *Frame, sigma float64) *Frame {
-	w := GaussianKernel1D(sigma)
-	r := len(w) / 2
-	tmp := New(src.Width(), src.Height())
+	return GaussianBlurInto(nil, src, sigma)
+}
+
+// GaussianBlurInto is GaussianBlur writing into dst (reused when its
+// geometry matches; dst may be nil, must not alias src). The intermediate
+// horizontal-pass buffer comes from the shared pool, so a steady-state call
+// with a reused dst allocates nothing. It returns the destination used.
+func GaussianBlurInto(dst, src *Frame, sigma float64) *Frame {
+	w := gaussianKernel(sigma)
+	width, height := src.Width(), src.Height()
+	dst = ensureDst(dst, width, height, src.Bounds)
+	if width == 0 || height == 0 {
+		return dst
+	}
+	tmp := BorrowUninit(width, height)
 	tmp.Bounds = src.Bounds
-	// Horizontal pass.
-	for y := src.Bounds.Y0; y < src.Bounds.Y1; y++ {
-		for x := src.Bounds.X0; x < src.Bounds.X1; x++ {
-			acc := 0.0
-			for i := -r; i <= r; i++ {
-				acc += w[i+r] * float64(src.AtClamped(x+i, y))
-			}
-			tmp.Pix[(y-src.Bounds.Y0)*tmp.Stride+(x-src.Bounds.X0)] = clamp16(acc)
-		}
-	}
-	// Vertical pass.
-	dst := New(src.Width(), src.Height())
-	dst.Bounds = src.Bounds
-	for y := src.Bounds.Y0; y < src.Bounds.Y1; y++ {
-		for x := src.Bounds.X0; x < src.Bounds.X1; x++ {
-			acc := 0.0
-			for i := -r; i <= r; i++ {
-				acc += w[i+r] * float64(tmp.AtClamped(x, y+i))
-			}
-			dst.Pix[(y-src.Bounds.Y0)*dst.Stride+(x-src.Bounds.X0)] = clamp16(acc)
-		}
-	}
+	blurHRows(tmp, src, w, src.Bounds.Y0, src.Bounds.Y1)
+	blurVRows(dst, tmp, w, src.Bounds.Y0, src.Bounds.Y1)
+	Release(tmp)
 	return dst
+}
+
+// blurHRows runs the horizontal 1-D pass over the absolute row range
+// [yLo, yHi) of src into out.
+func blurHRows(out, src *Frame, w []float64, yLo, yHi int) {
+	b := src.Bounds
+	r := len(w) / 2
+	width := b.Width()
+	xLoI, xHiI := b.X0+r, b.X1-r
+	for y := yLo; y < yHi; y++ {
+		o0 := (y - b.Y0) * out.Stride
+		orow := out.Pix[o0 : o0+width]
+		s0 := (y - b.Y0) * src.Stride
+		srow := src.Pix[s0 : s0+width]
+		if xHiI > xLoI {
+			for x := b.X0; x < xLoI; x++ {
+				orow[x-b.X0] = blurHClamped(src, w, r, x, y)
+			}
+			for x := xLoI; x < xHiI; x++ {
+				acc := 0.0
+				off := x - r - b.X0
+				for i, wv := range w {
+					acc += wv * float64(srow[off+i])
+				}
+				orow[x-b.X0] = clamp16(acc)
+			}
+			for x := xHiI; x < b.X1; x++ {
+				orow[x-b.X0] = blurHClamped(src, w, r, x, y)
+			}
+		} else {
+			for x := b.X0; x < b.X1; x++ {
+				orow[x-b.X0] = blurHClamped(src, w, r, x, y)
+			}
+		}
+	}
+}
+
+func blurHClamped(src *Frame, w []float64, r, x, y int) uint16 {
+	acc := 0.0
+	for i := -r; i <= r; i++ {
+		acc += w[i+r] * float64(src.AtClamped(x+i, y))
+	}
+	return clamp16(acc)
+}
+
+// blurVRows runs the vertical 1-D pass over the absolute row range
+// [yLo, yHi) of src into out.
+func blurVRows(out, src *Frame, w []float64, yLo, yHi int) {
+	b := src.Bounds
+	r := len(w) / 2
+	width := b.Width()
+	for y := yLo; y < yHi; y++ {
+		o0 := (y - b.Y0) * out.Stride
+		orow := out.Pix[o0 : o0+width]
+		if y-b.Y0 >= r && b.Y1-y > r {
+			base := (y - r - b.Y0) * src.Stride
+			for xx := 0; xx < width; xx++ {
+				acc := 0.0
+				off := base + xx
+				for _, wv := range w {
+					acc += wv * float64(src.Pix[off])
+					off += src.Stride
+				}
+				orow[xx] = clamp16(acc)
+			}
+		} else {
+			for x := b.X0; x < b.X1; x++ {
+				acc := 0.0
+				for i := -r; i <= r; i++ {
+					acc += w[i+r] * float64(src.AtClamped(x, y+i))
+				}
+				orow[x-b.X0] = clamp16(acc)
+			}
+		}
+	}
 }
 
 // Hessian holds the three independent second-derivative responses at a pixel.
@@ -104,8 +269,21 @@ type Hessian struct {
 }
 
 // HessianAt computes central-difference second derivatives at (x, y) with
-// replicate borders.
+// replicate borders. Interior pixels (at least one pixel from every edge)
+// take a direct-indexing fast path.
 func HessianAt(f *Frame, x, y int) Hessian {
+	b := f.Bounds
+	if x > b.X0 && x < b.X1-1 && y > b.Y0 && y < b.Y1-1 {
+		i := (y-b.Y0)*f.Stride + (x - b.X0)
+		s := f.Stride
+		c := float64(f.Pix[i])
+		return Hessian{
+			XX: float64(f.Pix[i+1]) - 2*c + float64(f.Pix[i-1]),
+			YY: float64(f.Pix[i+s]) - 2*c + float64(f.Pix[i-s]),
+			XY: (float64(f.Pix[i+s+1]) - float64(f.Pix[i+s-1]) -
+				float64(f.Pix[i-s+1]) + float64(f.Pix[i-s-1])) / 4,
+		}
+	}
 	c := float64(f.AtClamped(x, y))
 	return Hessian{
 		XX: float64(f.AtClamped(x+1, y)) - 2*c + float64(f.AtClamped(x-1, y)),
@@ -129,8 +307,16 @@ func (h Hessian) Eigenvalues() (l1, l2 float64) {
 	return b, a
 }
 
-// Gradient returns central-difference first derivatives at (x, y).
+// Gradient returns central-difference first derivatives at (x, y), with a
+// direct-indexing fast path for interior pixels.
 func Gradient(f *Frame, x, y int) (gx, gy float64) {
+	b := f.Bounds
+	if x > b.X0 && x < b.X1-1 && y > b.Y0 && y < b.Y1-1 {
+		i := (y-b.Y0)*f.Stride + (x - b.X0)
+		gx = (float64(f.Pix[i+1]) - float64(f.Pix[i-1])) / 2
+		gy = (float64(f.Pix[i+f.Stride]) - float64(f.Pix[i-f.Stride])) / 2
+		return gx, gy
+	}
 	gx = (float64(f.AtClamped(x+1, y)) - float64(f.AtClamped(x-1, y))) / 2
 	gy = (float64(f.AtClamped(x, y+1)) - float64(f.AtClamped(x, y-1))) / 2
 	return gx, gy
@@ -138,14 +324,22 @@ func Gradient(f *Frame, x, y int) (gx, gy float64) {
 
 // Threshold returns a frame where pixels >= t map to 65535 and others to 0.
 func Threshold(src *Frame, t uint16) *Frame {
-	dst := New(src.Width(), src.Height())
-	dst.Bounds = src.Bounds
+	return ThresholdInto(nil, src, t)
+}
+
+// ThresholdInto is Threshold with destination reuse (dst may be nil, must
+// not alias src); it returns the destination used.
+func ThresholdInto(dst, src *Frame, t uint16) *Frame {
+	dst = ensureDst(dst, src.Width(), src.Height(), src.Bounds)
 	for y := src.Bounds.Y0; y < src.Bounds.Y1; y++ {
 		srow := src.Row(y)
-		drow := dst.Pix[(y-src.Bounds.Y0)*dst.Stride : (y-src.Bounds.Y0)*dst.Stride+src.Width()]
+		d0 := (y - src.Bounds.Y0) * dst.Stride
+		drow := dst.Pix[d0 : d0+src.Width()]
 		for i, v := range srow {
 			if v >= t {
 				drow[i] = 0xFFFF
+			} else {
+				drow[i] = 0
 			}
 		}
 	}
@@ -154,11 +348,17 @@ func Threshold(src *Frame, t uint16) *Frame {
 
 // Invert returns 65535 - pixel for every pixel (dark features become bright).
 func Invert(src *Frame) *Frame {
-	dst := New(src.Width(), src.Height())
-	dst.Bounds = src.Bounds
+	return InvertInto(nil, src)
+}
+
+// InvertInto is Invert with destination reuse (dst may be nil, must not
+// alias src); it returns the destination used.
+func InvertInto(dst, src *Frame) *Frame {
+	dst = ensureDst(dst, src.Width(), src.Height(), src.Bounds)
 	for y := src.Bounds.Y0; y < src.Bounds.Y1; y++ {
 		srow := src.Row(y)
-		drow := dst.Pix[(y-src.Bounds.Y0)*dst.Stride : (y-src.Bounds.Y0)*dst.Stride+src.Width()]
+		d0 := (y - src.Bounds.Y0) * dst.Stride
+		drow := dst.Pix[d0 : d0+src.Width()]
 		for i, v := range srow {
 			drow[i] = 0xFFFF - v
 		}
@@ -169,14 +369,20 @@ func Invert(src *Frame) *Frame {
 // AbsDiff returns |a - b| per pixel; the frames must have equal bounds.
 // This is the temporal difference used by the registration stage.
 func AbsDiff(a, b *Frame) (*Frame, error) {
+	return AbsDiffInto(nil, a, b)
+}
+
+// AbsDiffInto is AbsDiff with destination reuse (dst may be nil, must not
+// alias a or b); it returns the destination used.
+func AbsDiffInto(dst, a, b *Frame) (*Frame, error) {
 	if a.Bounds != b.Bounds {
 		return nil, errors.New("frame: AbsDiff bounds mismatch")
 	}
-	dst := New(a.Width(), a.Height())
-	dst.Bounds = a.Bounds
+	dst = ensureDst(dst, a.Width(), a.Height(), a.Bounds)
 	for y := a.Bounds.Y0; y < a.Bounds.Y1; y++ {
 		ar, br := a.Row(y), b.Row(y)
-		drow := dst.Pix[(y-a.Bounds.Y0)*dst.Stride : (y-a.Bounds.Y0)*dst.Stride+a.Width()]
+		d0 := (y - a.Bounds.Y0) * dst.Stride
+		drow := dst.Pix[d0 : d0+a.Width()]
 		for i := range ar {
 			if ar[i] >= br[i] {
 				drow[i] = ar[i] - br[i]
@@ -209,45 +415,77 @@ func Normalize(src *Frame) *Frame {
 }
 
 // BilinearAt samples f at the real-valued location (x, y) with bilinear
-// interpolation and replicate borders.
+// interpolation and replicate borders. The four taps take a direct-indexing
+// fast path when the 2x2 support lies inside the frame.
 func BilinearAt(f *Frame, x, y float64) float64 {
 	x0, y0 := int(math.Floor(x)), int(math.Floor(y))
 	fx, fy := x-float64(x0), y-float64(y0)
-	v00 := float64(f.AtClamped(x0, y0))
-	v10 := float64(f.AtClamped(x0+1, y0))
-	v01 := float64(f.AtClamped(x0, y0+1))
-	v11 := float64(f.AtClamped(x0+1, y0+1))
+	b := f.Bounds
+	var v00, v10, v01, v11 float64
+	if x0 >= b.X0 && x0+1 < b.X1 && y0 >= b.Y0 && y0+1 < b.Y1 {
+		i := (y0-b.Y0)*f.Stride + (x0 - b.X0)
+		v00 = float64(f.Pix[i])
+		v10 = float64(f.Pix[i+1])
+		v01 = float64(f.Pix[i+f.Stride])
+		v11 = float64(f.Pix[i+f.Stride+1])
+	} else {
+		v00 = float64(f.AtClamped(x0, y0))
+		v10 = float64(f.AtClamped(x0+1, y0))
+		v01 = float64(f.AtClamped(x0, y0+1))
+		v11 = float64(f.AtClamped(x0+1, y0+1))
+	}
 	return v00*(1-fx)*(1-fy) + v10*fx*(1-fy) + v01*(1-fx)*fy + v11*fx*fy
 }
 
 // Resize scales src to (w, h) with bilinear interpolation; this is the
 // zoom-stage primitive.
 func Resize(src *Frame, w, h int) *Frame {
-	dst := New(w, h)
+	return ResizeInto(nil, src, w, h)
+}
+
+// ResizeInto is Resize with destination reuse (dst may be nil, must not
+// alias src); it returns the destination used.
+func ResizeInto(dst, src *Frame, w, h int) *Frame {
+	dst = ensureDst(dst, w, h, Rect{0, 0, w, h})
 	if src.Pixels() == 0 || w == 0 || h == 0 {
+		clear(dst.Pix)
 		return dst
 	}
+	resizeRows(dst, src, 0, h)
+	return dst
+}
+
+// resizeRows fills destination rows [yLo, yHi) of the bilinear resample.
+func resizeRows(dst, src *Frame, yLo, yHi int) {
+	w, h := dst.Width(), dst.Height()
 	sx := float64(src.Width()) / float64(w)
 	sy := float64(src.Height()) / float64(h)
-	for y := 0; y < h; y++ {
+	for y := yLo; y < yHi; y++ {
+		drow := dst.Pix[y*dst.Stride : y*dst.Stride+w]
+		srcY := float64(src.Bounds.Y0) + (float64(y)+0.5)*sy - 0.5
 		for x := 0; x < w; x++ {
 			srcX := float64(src.Bounds.X0) + (float64(x)+0.5)*sx - 0.5
-			srcY := float64(src.Bounds.Y0) + (float64(y)+0.5)*sy - 0.5
-			dst.Pix[y*dst.Stride+x] = clamp16(BilinearAt(src, srcX, srcY))
+			drow[x] = clamp16(BilinearAt(src, srcX, srcY))
 		}
 	}
-	return dst
 }
 
 // Translate returns src shifted by the real-valued offset (dx, dy) using
 // bilinear resampling; the registration stage aligns frames this way.
 func Translate(src *Frame, dx, dy float64) *Frame {
-	dst := New(src.Width(), src.Height())
-	dst.Bounds = src.Bounds
+	return TranslateInto(nil, src, dx, dy)
+}
+
+// TranslateInto is Translate with destination reuse (dst may be nil, must
+// not alias src); it returns the destination used.
+func TranslateInto(dst, src *Frame, dx, dy float64) *Frame {
+	dst = ensureDst(dst, src.Width(), src.Height(), src.Bounds)
 	for y := src.Bounds.Y0; y < src.Bounds.Y1; y++ {
+		d0 := (y - src.Bounds.Y0) * dst.Stride
+		drow := dst.Pix[d0 : d0+src.Width()]
 		for x := src.Bounds.X0; x < src.Bounds.X1; x++ {
 			v := BilinearAt(src, float64(x)-dx, float64(y)-dy)
-			dst.Pix[(y-src.Bounds.Y0)*dst.Stride+(x-src.Bounds.X0)] = clamp16(v)
+			drow[x-src.Bounds.X0] = clamp16(v)
 		}
 	}
 	return dst
@@ -288,14 +526,21 @@ func (a *Accumulator) Frames() int { return a.frames }
 
 // Average returns the running mean frame; nil before any Add.
 func (a *Accumulator) Average() *Frame {
+	return a.AverageInto(nil)
+}
+
+// AverageInto is Average with destination reuse (dst may be nil); it
+// returns the destination used, or nil before any Add.
+func (a *Accumulator) AverageInto(dst *Frame) *Frame {
 	if a.frames == 0 {
 		return nil
 	}
-	out := New(a.w, a.h)
+	dst = ensureDst(dst, a.w, a.h, Rect{0, 0, a.w, a.h})
+	n := uint32(a.frames)
 	for i, s := range a.sum {
-		out.Pix[i] = uint16(s / uint32(a.frames))
+		dst.Pix[i] = uint16(s / n)
 	}
-	return out
+	return dst
 }
 
 // Reset clears the accumulator.

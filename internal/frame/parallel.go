@@ -4,62 +4,56 @@ import (
 	"triplec/internal/parallel"
 )
 
+// The *Parallel variants stripe the exact same interior/border-split row
+// helpers the serial kernels use (convolveRows, blurHRows/blurVRows,
+// resizeRows), so their output is bit-identical to the serial versions: the
+// rows of each pass are independent given the input (and, for the blur, the
+// intermediate buffer), so striping never changes results.
+
 // GaussianBlurParallel is GaussianBlur with each separable pass striped over
-// k goroutines. The output is bit-identical to the serial version: the
-// horizontal pass rows and the vertical pass rows are independent given the
-// intermediate buffer, so striping never changes results.
+// k goroutines; bit-identical to the serial version.
 func GaussianBlurParallel(src *Frame, sigma float64, k int) *Frame {
-	w := GaussianKernel1D(sigma)
-	r := len(w) / 2
-	height := src.Height()
-	tmp := New(src.Width(), height)
+	return GaussianBlurIntoParallel(nil, src, sigma, k)
+}
+
+// GaussianBlurIntoParallel is GaussianBlurInto striped over k goroutines
+// (dst may be nil, must not alias src); it returns the destination used.
+func GaussianBlurIntoParallel(dst, src *Frame, sigma float64, k int) *Frame {
+	w := gaussianKernel(sigma)
+	width, height := src.Width(), src.Height()
+	dst = ensureDst(dst, width, height, src.Bounds)
+	if width == 0 || height == 0 {
+		return dst
+	}
+	tmp := BorrowUninit(width, height)
 	tmp.Bounds = src.Bounds
+	y0 := src.Bounds.Y0
 	parallel.ForStripes(height, k, func(_, lo, hi int) {
-		for yy := lo; yy < hi; yy++ {
-			y := src.Bounds.Y0 + yy
-			for x := src.Bounds.X0; x < src.Bounds.X1; x++ {
-				acc := 0.0
-				for i := -r; i <= r; i++ {
-					acc += w[i+r] * float64(src.AtClamped(x+i, y))
-				}
-				tmp.Pix[yy*tmp.Stride+(x-src.Bounds.X0)] = clamp16(acc)
-			}
-		}
+		blurHRows(tmp, src, w, y0+lo, y0+hi)
 	})
-	dst := New(src.Width(), height)
-	dst.Bounds = src.Bounds
 	parallel.ForStripes(height, k, func(_, lo, hi int) {
-		for yy := lo; yy < hi; yy++ {
-			y := src.Bounds.Y0 + yy
-			for x := src.Bounds.X0; x < src.Bounds.X1; x++ {
-				acc := 0.0
-				for i := -r; i <= r; i++ {
-					acc += w[i+r] * float64(tmp.AtClamped(x, y+i))
-				}
-				dst.Pix[yy*dst.Stride+(x-src.Bounds.X0)] = clamp16(acc)
-			}
-		}
+		blurVRows(dst, tmp, w, y0+lo, y0+hi)
 	})
+	Release(tmp)
 	return dst
 }
 
 // ResizeParallel is Resize with the output rows striped over k goroutines;
 // bit-identical to the serial version.
 func ResizeParallel(src *Frame, w, h, k int) *Frame {
-	dst := New(w, h)
+	return ResizeIntoParallel(nil, src, w, h, k)
+}
+
+// ResizeIntoParallel is ResizeInto striped over k goroutines (dst may be
+// nil, must not alias src); it returns the destination used.
+func ResizeIntoParallel(dst, src *Frame, w, h, k int) *Frame {
+	dst = ensureDst(dst, w, h, Rect{0, 0, w, h})
 	if src.Pixels() == 0 || w == 0 || h == 0 {
+		clear(dst.Pix)
 		return dst
 	}
-	sx := float64(src.Width()) / float64(w)
-	sy := float64(src.Height()) / float64(h)
 	parallel.ForStripes(h, k, func(_, lo, hi int) {
-		for y := lo; y < hi; y++ {
-			for x := 0; x < w; x++ {
-				srcX := float64(src.Bounds.X0) + (float64(x)+0.5)*sx - 0.5
-				srcY := float64(src.Bounds.Y0) + (float64(y)+0.5)*sy - 0.5
-				dst.Pix[y*dst.Stride+x] = clamp16(BilinearAt(src, srcX, srcY))
-			}
-		}
+		resizeRows(dst, src, lo, hi)
 	})
 	return dst
 }
@@ -67,24 +61,16 @@ func ResizeParallel(src *Frame, w, h, k int) *Frame {
 // ConvolveParallel is Convolve with output rows striped over k goroutines;
 // bit-identical to the serial version.
 func ConvolveParallel(src *Frame, kern Kernel, k int) *Frame {
-	dst := New(src.Width(), src.Height())
-	dst.Bounds = src.Bounds
-	r := kern.Side / 2
+	return ConvolveIntoParallel(nil, src, kern, k)
+}
+
+// ConvolveIntoParallel is ConvolveInto striped over k goroutines (dst may
+// be nil, must not alias src); it returns the destination used.
+func ConvolveIntoParallel(dst, src *Frame, kern Kernel, k int) *Frame {
+	dst = ensureDst(dst, src.Width(), src.Height(), src.Bounds)
+	y0 := src.Bounds.Y0
 	parallel.ForStripes(src.Height(), k, func(_, lo, hi int) {
-		for yy := lo; yy < hi; yy++ {
-			y := src.Bounds.Y0 + yy
-			for x := src.Bounds.X0; x < src.Bounds.X1; x++ {
-				acc := 0.0
-				wi := 0
-				for dy := -r; dy <= r; dy++ {
-					for dx := -r; dx <= r; dx++ {
-						acc += kern.W[wi] * float64(src.AtClamped(x+dx, y+dy))
-						wi++
-					}
-				}
-				dst.Pix[yy*dst.Stride+(x-src.Bounds.X0)] = clamp16(acc)
-			}
-		}
+		convolveRows(dst, src, kern, y0+lo, y0+hi)
 	})
 	return dst
 }

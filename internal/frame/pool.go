@@ -1,0 +1,105 @@
+package frame
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Pool is a size-bucketed free list of frames backed by sync.Pool. Frames
+// come out of Get with compact stride (Stride == Width) and bounds anchored
+// at the origin; Put recycles the whole *Frame — struct and pixel storage —
+// so a steady-state Get/Put cycle performs no allocation at all.
+//
+// Only put back frames whose storage you own outright: a SubFrame view, or
+// any frame whose Pix slice is shared, must never be released, because the
+// next Get would alias live pixels. Using a frame after Put (or Putting it
+// twice) is equally a use-after-free. The pool itself is safe for concurrent
+// use.
+//
+// The zero value is ready to use.
+type Pool struct {
+	// buckets[i] holds frames whose Pix capacity lies in [2^i, 2^(i+1)).
+	buckets [maxBucketBits]sync.Pool
+}
+
+// maxBucketBits bounds the bucket ladder at 2^30 pixels (2 GiB of uint16),
+// far beyond any frame geometry the pipeline handles; larger requests fall
+// through to plain allocation.
+const maxBucketBits = 31
+
+// bucketFor returns the bucket index whose buffers are guaranteed to hold n
+// pixels (ceil log2), or -1 when n is out of pooling range.
+func bucketFor(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	idx := bits.Len(uint(n - 1)) // smallest b with 2^b >= n
+	if idx >= maxBucketBits {
+		return -1
+	}
+	return idx
+}
+
+// Get returns a zeroed w x h frame, reusing pooled storage when available.
+func (p *Pool) Get(w, h int) *Frame {
+	f := p.GetUninit(w, h)
+	clear(f.Pix)
+	return f
+}
+
+// GetUninit is Get without clearing the pixels: the contents are arbitrary
+// leftovers from earlier frames. Use it only for destinations every pixel of
+// which will be overwritten (convolution outputs, resize targets, …).
+func (p *Pool) GetUninit(w, h int) *Frame {
+	if w < 0 || h < 0 {
+		panic("frame: negative dimensions")
+	}
+	n := w * h
+	idx := bucketFor(n)
+	if idx < 0 {
+		return New(w, h)
+	}
+	if v, ok := p.buckets[idx].Get().(*Frame); ok && cap(v.Pix) >= n {
+		v.Pix = v.Pix[:n]
+		v.Stride = w
+		v.Bounds = Rect{0, 0, w, h}
+		return v
+	}
+	return &Frame{Pix: make([]uint16, n, 1<<idx), Stride: w, Bounds: Rect{0, 0, w, h}}
+}
+
+// Put recycles f — struct and pixel storage. nil frames and empty buffers
+// are ignored, so Put is always safe on the result of a Get. f must not be
+// used after.
+func (p *Pool) Put(f *Frame) {
+	if f == nil || cap(f.Pix) == 0 {
+		return
+	}
+	// Bucket by floor log2 of the capacity: every frame stored in bucket i
+	// holds at least 2^i pixels, which is what Get's ceil-log2 lookup needs.
+	idx := bits.Len(uint(cap(f.Pix))) - 1
+	if idx >= maxBucketBits {
+		return
+	}
+	f.Pix = f.Pix[:0]
+	f.Stride = 0
+	f.Bounds = Rect{}
+	p.buckets[idx].Put(f)
+}
+
+// shared is the package-level pool behind Borrow/Release. Kernels and tasks
+// use it so independent pipeline stages — and independent streams — recycle
+// each other's buffers.
+var shared Pool
+
+// Borrow returns a zeroed w x h frame from the shared pool.
+func Borrow(w, h int) *Frame { return shared.Get(w, h) }
+
+// BorrowUninit returns an uninitialized w x h frame from the shared pool;
+// see Pool.GetUninit for the overwrite-everything contract.
+func BorrowUninit(w, h int) *Frame { return shared.GetUninit(w, h) }
+
+// Release returns a borrowed frame to the shared pool. Releasing frames the
+// caller does not own (SubFrame views, frames still referenced elsewhere) is
+// a use-after-free bug; when unsure, simply drop the frame instead.
+func Release(f *Frame) { shared.Put(f) }

@@ -1,0 +1,54 @@
+package pipeline
+
+import (
+	"runtime"
+	"testing"
+
+	"triplec/internal/frame"
+)
+
+// TestProcessSteadyStateAllocBudget pins the per-frame heap traffic of the
+// steady-state pipeline. With the frame pool and the Into-kernels threaded
+// through the tasks, a processed 128x128 frame (32 KB of pixels) must stay
+// within a few frame-equivalents of heap traffic per frame: the escaping
+// zoom output, report bookkeeping and small per-component slices. Before
+// the buffer-reuse work each frame allocated every intermediate fresh
+// (smoothed, response, mask, resized grids, canvas, average), i.e. many
+// hundreds of KB per frame; this budget fails if that regresses.
+func TestProcessSteadyStateAllocBudget(t *testing.T) {
+	e := newEngine(t)
+	s := testSeq(t, 3)
+	const warm, measured = 12, 24
+
+	// Pre-generate inputs so synthesis cost stays out of the measurement.
+	inputs := make([]*frame.Frame, warm+measured)
+	for i := range inputs {
+		inputs[i], _ = s.Frame(i)
+	}
+	for i := 0; i < warm; i++ {
+		if _, err := e.Process(inputs[i], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := warm; i < warm+measured; i++ {
+		if _, err := e.Process(inputs[i], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.ReadMemStats(&after)
+
+	perFrame := float64(after.TotalAlloc-before.TotalAlloc) / measured
+	framePixelBytes := float64(e.cfg.Width * e.cfg.Height * 2)
+	// Budget: three frame-equivalents per processed frame. The dominant
+	// remaining allocation is the zoom output, which escapes to the caller
+	// by contract; everything else is bookkeeping.
+	budget := 3 * framePixelBytes
+	t.Logf("steady state: %.0f bytes/frame (budget %.0f)", perFrame, budget)
+	if perFrame > budget {
+		t.Errorf("steady-state pipeline allocates %.0f bytes/frame, budget %.0f", perFrame, budget)
+	}
+}

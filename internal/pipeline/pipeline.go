@@ -214,7 +214,9 @@ func (e *Engine) Process(f *frame.Frame, m partition.Mapping) (Report, error) {
 	if err := m.Validate(e.cfg.Arch.NumCPUs); err != nil {
 		return Report{}, err
 	}
-	rep := Report{Index: e.frameIdx, Mapping: m}
+	// Nine task slots at most (detect, rdg, mkx, cpls, reg, roi, gw, enh,
+	// zoom); preallocating keeps the per-frame loop free of append growth.
+	rep := Report{Index: e.frameIdx, Mapping: m, Execs: make([]TaskExec, 0, 9)}
 	bounds := f.Bounds
 
 	// Switch 1: are dominant structures present (is RDG required)?
@@ -249,6 +251,12 @@ func (e *Engine) Process(f *frame.Frame, m partition.Mapping) (Report, error) {
 	cands, mCost := e.mkx.Run(analysis, ridge)
 	e.charge(&rep, tasks.NameMKXExt, mCost, rdgOn, m)
 	rep.Candidates = len(cands)
+	if ridge != nil {
+		// The ridge frames only feed MKX within this frame; recycle them.
+		frame.Release(ridge.Response)
+		frame.Release(ridge.Mask)
+		ridge.Response, ridge.Mask = nil, nil
+	}
 
 	couple, cCost := e.cpls.Run(cands)
 	e.charge(&rep, tasks.NameCPLSSel, cCost, rdgOn, m)

@@ -1,0 +1,43 @@
+package stream
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestServeSteadyStateAllocBudget pins the serving loop's per-frame heap
+// traffic. Each offered frame inherently allocates its synthesized input
+// frame and the escaping zoom output; with the frame pool and Into-kernels
+// threaded through the engine, everything in between is recycled. The
+// budget of six frame-equivalents per offered frame fails if the pipeline
+// regresses to allocating its intermediates fresh (which costs tens of
+// frame-equivalents per frame).
+func TestServeSteadyStateAllocBudget(t *testing.T) {
+	s := testStudy()
+	cfg := mkStream(t, s, "pin", 17, 0)
+	srv, err := NewServer(ServerConfig{}, []Config{cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm pools, predictor memoization and trace buffers.
+	if _, err := srv.Run(10); err != nil {
+		t.Fatal(err)
+	}
+
+	const frames = 40
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if _, err := srv.Run(frames); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+
+	perFrame := float64(after.TotalAlloc-before.TotalAlloc) / frames
+	framePixelBytes := float64(s.FramePixels() * 2)
+	budget := 6 * framePixelBytes
+	t.Logf("serving steady state: %.0f bytes/frame (budget %.0f)", perFrame, budget)
+	if perFrame > budget {
+		t.Errorf("serving loop allocates %.0f bytes/frame, budget %.0f", perFrame, budget)
+	}
+}

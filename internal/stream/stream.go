@@ -205,7 +205,10 @@ func (s *Server) Run(n int) (RunResult, error) {
 // serveOne is the per-stream goroutine body: admission, planning,
 // processing on the shared pool, observation, demand reporting.
 func serveOne(si int, sc Config, n int, ctl *controller, pool *parallel.Pool) Result {
-	res := Result{Stats: Stats{Name: sc.Name, BudgetMs: sc.BudgetMs}}
+	res := Result{
+		Stats:   Stats{Name: sc.Name, BudgetMs: sc.BudgetMs},
+		Reports: make([]pipeline.Report, 0, n),
+	}
 	tr := trace.New()
 	for _, col := range []string{"latency_ms", "predicted_ms", "cores", "missed", "skipped", "serial"} {
 		if err := tr.AddEmpty(col); err != nil {

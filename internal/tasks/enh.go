@@ -20,6 +20,12 @@ type Enhancer struct {
 
 	acc   *frame.Accumulator
 	count int
+
+	// canvas and avg are reused across Runs, so an Enhancer is owned by one
+	// goroutine at a time and the frame returned by Run stays valid only
+	// until the next Run or Reset.
+	canvas *frame.Frame
+	avg    *frame.Frame
 }
 
 // NewEnhancer returns an enhancer with a canvas suited to the frame size.
@@ -41,7 +47,8 @@ func (e *Enhancer) Integrated() int { return e.acc.Frames() }
 // Run resamples the registered ROI onto the canvas, adds it to the temporal
 // stack and returns the running average — the enhanced view. The couple
 // anchors the resampling so the markers always land on the same canvas
-// positions (this is the motion compensation).
+// positions (this is the motion compensation). The returned frame is a
+// reused buffer: it stays valid until the next Run or Reset.
 func (e *Enhancer) Run(roi *frame.Frame, couple *Couple) (*frame.Frame, platform.Cost) {
 	if roi == nil || roi.Pixels() == 0 || couple == nil {
 		return nil, e.Params.cost(0)
@@ -56,7 +63,10 @@ func (e *Enhancer) Run(roi *frame.Frame, couple *Couple) (*frame.Frame, platform
 		scale = 0.4 * float64(e.CanvasW) / couple.Spacing
 	}
 	mx, my := couple.Mid()
-	canvas := frame.New(e.CanvasW, e.CanvasH)
+	if e.canvas == nil {
+		e.canvas = frame.New(e.CanvasW, e.CanvasH)
+	}
+	canvas := e.canvas
 	for y := 0; y < e.CanvasH; y++ {
 		for x := 0; x < e.CanvasW; x++ {
 			// Canvas -> source mapping (pure translation + scale; rotation
@@ -69,7 +79,8 @@ func (e *Enhancer) Run(roi *frame.Frame, couple *Couple) (*frame.Frame, platform
 	if err := e.acc.Add(canvas); err != nil {
 		return nil, e.Params.cost(0)
 	}
-	out := e.acc.Average()
+	e.avg = e.acc.AverageInto(e.avg)
+	out := e.avg
 	cycles := e.Params.pixCost(e.CanvasW*e.CanvasH, e.Params.AccumPerPixel)
 	return out, e.Params.cost(cycles)
 }

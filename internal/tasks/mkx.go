@@ -58,7 +58,8 @@ func (m *MarkerExtractor) Run(in *frame.Frame, ridge *RidgeResult) ([]Marker, pl
 	if w < 4 || h < 4 {
 		return nil, m.Params.cost(0)
 	}
-	small := frame.Resize(in, w, h)
+	small := frame.ResizeInto(frame.BorrowUninit(w, h), in, w, h)
+	defer frame.Release(small)
 
 	// Adaptive darkness threshold from global statistics.
 	mean := small.MeanValue()
@@ -87,8 +88,10 @@ func (m *MarkerExtractor) Run(in *frame.Frame, ridge *RidgeResult) ([]Marker, pl
 		thr = 0
 	}
 
-	// Dark mask over the half-resolution grid.
-	mask := frame.New(w, h)
+	// Dark mask over the half-resolution grid (Borrow zeroes the buffer;
+	// only the dark pixels are written below).
+	mask := frame.Borrow(w, h)
+	defer frame.Release(mask)
 	for y := 0; y < h; y++ {
 		srow := small.Row(y)
 		for x := 0; x < w; x++ {

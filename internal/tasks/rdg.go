@@ -12,6 +12,13 @@ import (
 // responds to elongated dark structures (vessels, guide wires) so they can
 // be removed from the marker-candidate set. RDG FULL runs it on the whole
 // frame; RDG ROI on the estimated region of interest.
+//
+// A RidgeDetector reuses internal scratch buffers across calls and is
+// therefore owned by one goroutine at a time, like the pipeline Engine that
+// embeds it (RunStriped's internal stripes are fine: they share one call).
+// The returned RidgeResult frames are freshly taken from the shared frame
+// pool on every call, so results stay valid across calls; callers that own
+// a result may hand its frames back via frame.Release.
 type RidgeDetector struct {
 	// Sigma is the Gaussian pre-smoothing scale in pixels.
 	Sigma float64
@@ -26,6 +33,8 @@ type RidgeDetector struct {
 	DominanceFrac float64
 
 	Params CostParams
+
+	vals []float64 // per-pixel response scratch, grown on demand
 }
 
 // NewRidgeDetector returns a detector with scales suited to the synthetic
@@ -40,6 +49,14 @@ func NewRidgeDetector(p CostParams) *RidgeDetector {
 	}
 }
 
+// scratch returns the detector's response buffer resized to n values.
+func (r *RidgeDetector) scratch(n int) []float64 {
+	if cap(r.vals) < n {
+		r.vals = make([]float64, n)
+	}
+	return r.vals[:n]
+}
+
 // Run applies the ridge filter to in (which may be a SubFrame for the ROI
 // variant) and returns the response, mask and the cycle cost of the work
 // actually performed.
@@ -49,15 +66,18 @@ func (r *RidgeDetector) Run(in *frame.Frame) (*RidgeResult, platform.Cost) {
 		return &RidgeResult{Response: frame.New(0, 0), Mask: frame.New(0, 0)},
 			r.Params.cost(0)
 	}
-	smoothed := frame.GaussianBlur(in, r.Sigma)
+	width, height := in.Width(), in.Height()
+	smoothed := frame.BorrowUninit(width, height)
+	smoothed = frame.GaussianBlurInto(smoothed, in, r.Sigma)
+	defer frame.Release(smoothed)
 
 	// Ridge response: for dark lines on a bright background the principal
 	// Hessian eigenvalue across the line is large and positive, while along
 	// the line it stays near zero. Response = l1 gated by anisotropy.
-	resp := frame.New(in.Width(), in.Height())
+	resp := frame.Borrow(width, height)
 	resp.Bounds = in.Bounds
 	maxResp := 0.0
-	vals := make([]float64, pixels)
+	vals := r.scratch(pixels)
 	i := 0
 	for y := in.Bounds.Y0; y < in.Bounds.Y1; y++ {
 		for x := in.Bounds.X0; x < in.Bounds.X1; x++ {
@@ -74,22 +94,26 @@ func (r *RidgeDetector) Run(in *frame.Frame) (*RidgeResult, platform.Cost) {
 			i++
 		}
 	}
-	result := &RidgeResult{Response: resp, Mask: frame.New(in.Width(), in.Height())}
-	result.Mask.Bounds = in.Bounds
+	mask := frame.Borrow(width, height)
+	mask.Bounds = in.Bounds
+	result := &RidgeResult{Response: resp, Mask: mask}
 	if maxResp > 0 {
 		thr := r.RelThreshold * maxResp
 		scale := 65535.0 / maxResp
 		i = 0
 		for y := in.Bounds.Y0; y < in.Bounds.Y1; y++ {
-			for x := in.Bounds.X0; x < in.Bounds.X1; x++ {
+			r0 := (y - in.Bounds.Y0) * width
+			rrow := resp.Pix[r0 : r0+width]
+			mrow := mask.Pix[r0 : r0+width]
+			for xx := 0; xx < width; xx++ {
 				v := vals[i]
 				i++
 				if v <= 0 {
 					continue
 				}
-				resp.Set(x, y, uint16(v*scale))
+				rrow[xx] = uint16(v * scale)
 				if v >= thr {
-					result.Mask.Set(x, y, 0xFFFF)
+					mrow[xx] = 0xFFFF
 					result.RidgePixels++
 				}
 			}
@@ -119,13 +143,14 @@ func (r *RidgeDetector) RunStriped(in *frame.Frame, k int) (*RidgeResult, platfo
 	if k < 1 {
 		k = 1
 	}
-	smoothed := frame.GaussianBlurParallel(in, r.Sigma, k)
+	width, height := in.Width(), in.Height()
+	smoothed := frame.BorrowUninit(width, height)
+	smoothed = frame.GaussianBlurIntoParallel(smoothed, in, r.Sigma, k)
+	defer frame.Release(smoothed)
 
-	resp := frame.New(in.Width(), in.Height())
+	resp := frame.Borrow(width, height)
 	resp.Bounds = in.Bounds
-	height := in.Height()
-	width := in.Width()
-	vals := make([]float64, pixels)
+	vals := r.scratch(pixels)
 	stripeMax := make([]float64, k)
 	parallel.ForStripes(height, k, func(stripe, lo, hi int) {
 		localMax := 0.0
@@ -156,8 +181,9 @@ func (r *RidgeDetector) RunStriped(in *frame.Frame, k int) (*RidgeResult, platfo
 		}
 	}
 
-	result := &RidgeResult{Response: resp, Mask: frame.New(in.Width(), in.Height())}
-	result.Mask.Bounds = in.Bounds
+	mask := frame.Borrow(width, height)
+	mask.Bounds = in.Bounds
+	result := &RidgeResult{Response: resp, Mask: mask}
 	if maxResp > 0 {
 		thr := r.RelThreshold * maxResp
 		scale := 65535.0 / maxResp
@@ -165,16 +191,16 @@ func (r *RidgeDetector) RunStriped(in *frame.Frame, k int) (*RidgeResult, platfo
 		parallel.ForStripes(height, k, func(stripe, lo, hi int) {
 			n := 0
 			for yy := lo; yy < hi; yy++ {
-				y := in.Bounds.Y0 + yy
+				rrow := resp.Pix[yy*width : yy*width+width]
+				mrow := mask.Pix[yy*width : yy*width+width]
 				for xx := 0; xx < width; xx++ {
 					v := vals[yy*width+xx]
 					if v <= 0 {
 						continue
 					}
-					x := in.Bounds.X0 + xx
-					resp.Set(x, y, uint16(v*scale))
+					rrow[xx] = uint16(v * scale)
 					if v >= thr {
-						result.Mask.Set(x, y, 0xFFFF)
+						mrow[xx] = 0xFFFF
 						n++
 					}
 				}
@@ -221,7 +247,7 @@ func (d *StructureDetector) Run(in *frame.Frame) (bool, platform.Cost) {
 	if w < 2 || h < 2 {
 		return false, d.Params.cost(0)
 	}
-	small := frame.Resize(in, w, h)
+	small := frame.ResizeInto(frame.BorrowUninit(w, h), in, w, h)
 	energy := 0.0
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
@@ -229,6 +255,7 @@ func (d *StructureDetector) Run(in *frame.Frame) (bool, platform.Cost) {
 			energy += absf(gx) + absf(gy)
 		}
 	}
+	frame.Release(small)
 	energy /= float64(w * h)
 	norm := energy * math.Sqrt(float64(in.Pixels()))
 	cycles := d.Params.pixCost(w*h, d.Params.DetectPerPixel)
