@@ -8,10 +8,16 @@
 //
 //	triplec [-frames n] [-seed s] [-train n] [-quiet]
 //	triplec serve [-streams n] [-frames n] [-cores n] [-csv out.csv]
+//	  [-metrics-addr host:port] [-linger d] [-metrics-csv out.csv]
 //
 // The serve subcommand runs the concurrent multi-stream serving layer: N
 // independent streams share the modeled machine under the global core
-// arbiter (see internal/stream).
+// arbiter (see internal/stream). With -metrics-addr it exposes the live
+// telemetry layer while serving: GET /metrics (Prometheus text format),
+// GET /healthz (per-stream liveness and miss rate as JSON) and the
+// net/http/pprof handlers under /debug/pprof/; -linger keeps the endpoints
+// up after the run and -metrics-csv samples every instrument into a
+// trace CSV.
 package main
 
 import (

@@ -1,20 +1,29 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
+	"sync"
+	"time"
 
 	"triplec/internal/experiments"
+	"triplec/internal/metrics"
 	"triplec/internal/sched"
 	"triplec/internal/stream"
+	"triplec/internal/trace"
 )
 
 // runServe implements the `triplec serve` subcommand: it trains the
 // Triple-C models once, then serves N independent synthetic streams
 // concurrently under the global core arbiter and prints the per-stream
-// serving statistics.
+// serving statistics. With -metrics-addr it also exposes the live telemetry
+// layer over HTTP while the run is in flight.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	streams := fs.Int("streams", 2, "number of concurrent streams")
@@ -26,11 +35,25 @@ func runServe(args []string) error {
 	rebalance := fs.Int("rebalance", 4, "demand reports between core re-divisions")
 	skipOver := fs.Float64("skip-over", 2.0, "aggregate load ratio beyond which frames are shed")
 	csvPath := fs.String("csv", "", "write the merged per-stream series to this CSV file")
+	metricsAddr := fs.String("metrics-addr", "",
+		"serve GET /metrics (Prometheus), /healthz (JSON) and /debug/pprof/ on this address")
+	linger := fs.Duration("linger", 0,
+		"keep the metrics endpoints up this long after the run finishes (requires -metrics-addr)")
+	metricsCSV := fs.String("metrics-csv", "",
+		"sample every registered instrument into this CSV during the run")
+	metricsEvery := fs.Duration("metrics-every", 250*time.Millisecond,
+		"sampling period for -metrics-csv")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *streams < 1 {
 		return fmt.Errorf("serve: need at least one stream, got %d", *streams)
+	}
+	if *linger > 0 && *metricsAddr == "" {
+		return fmt.Errorf("serve: -linger needs -metrics-addr")
+	}
+	if *metricsCSV != "" && *metricsEvery <= 0 {
+		return fmt.Errorf("serve: -metrics-every must be positive, got %v", *metricsEvery)
 	}
 
 	study := experiments.DefaultStudy()
@@ -66,21 +89,102 @@ func runServe(args []string) error {
 		}
 	}
 
+	var reg *metrics.Registry
+	if *metricsAddr != "" || *metricsCSV != "" {
+		reg = metrics.NewRegistry()
+	}
 	srv, err := stream.NewServer(stream.ServerConfig{
 		ModelCores:     *cores,
 		HostWorkers:    *workers,
 		RebalanceEvery: *rebalance,
 		SkipOver:       *skipOver,
+		Metrics:        reg,
 	}, cfgs)
 	if err != nil {
 		return err
 	}
 
+	// Bring the telemetry endpoints up before the run so a scraper sees the
+	// stream go idle -> serving -> done.
+	var httpSrv *http.Server
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("serve: metrics listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Handler(reg))
+		mux.Handle("/healthz", srv.HealthHandler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		httpSrv = &http.Server{Handler: mux}
+		go func() {
+			if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "triplec serve: metrics server:", err)
+			}
+		}()
+		fmt.Printf("telemetry on http://%s/metrics, /healthz, /debug/pprof/\n", ln.Addr())
+	}
+
+	// Sample the registry on a timer while the run is in flight.
+	var (
+		sampler *trace.Recorder
+		stopCSV chan struct{}
+		csvDone sync.WaitGroup
+	)
+	if *metricsCSV != "" {
+		sampler, err = trace.NewRecorder(reg)
+		if err != nil {
+			return err
+		}
+		stopCSV = make(chan struct{})
+		csvDone.Add(1)
+		go func() {
+			defer csvDone.Done()
+			tick := time.NewTicker(*metricsEvery)
+			defer tick.Stop()
+			for {
+				if err := sampler.Sample(); err != nil {
+					fmt.Fprintln(os.Stderr, "triplec serve: metrics sampler:", err)
+					return
+				}
+				select {
+				case <-stopCSV:
+					return
+				case <-tick.C:
+				}
+			}
+		}()
+	}
+
 	fmt.Printf("serving %d streams x %d frames on %d host cores...\n",
 		*streams, *frames, runtime.GOMAXPROCS(0))
-	res, err := srv.Run(*frames)
-	if err != nil {
-		return err
+	res, runErr := srv.Run(*frames)
+
+	if sampler != nil {
+		close(stopCSV)
+		csvDone.Wait()
+		if err := sampler.Sample(); err != nil { // final post-run row
+			return err
+		}
+		file, err := os.Create(*metricsCSV)
+		if err != nil {
+			return err
+		}
+		werr := sampler.Trace().WriteCSV(file)
+		if cerr := file.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Println("wrote", *metricsCSV)
+	}
+	if runErr != nil {
+		return runErr
 	}
 
 	fmt.Printf("\n%-10s %9s %9s %9s %9s %9s %11s %11s %9s\n",
@@ -108,6 +212,16 @@ func runServe(args []string) error {
 			return err
 		}
 		fmt.Println("wrote", *csvPath)
+	}
+
+	if httpSrv != nil {
+		if *linger > 0 {
+			fmt.Printf("lingering %v for scrapers...\n", *linger)
+			time.Sleep(*linger)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
 	}
 	return nil
 }

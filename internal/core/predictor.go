@@ -130,6 +130,16 @@ func (c TrainConfig) withDefaults() TrainConfig {
 	return c
 }
 
+// MetricsSink receives the predictor's per-frame prediction-vs-actual
+// samples: for every executed frame, one TaskSample per task that was both
+// predicted and executed, then one ScenarioSample comparing the state
+// table's forecast with the scenario that actually ran. Implementations
+// must be cheap and allocation-free — the samples fire on the frame path.
+type MetricsSink interface {
+	TaskSample(task tasks.Name, predictedMs, actualMs float64)
+	ScenarioSample(predicted, actual flowgraph.Scenario)
+}
+
 // Predictor is the assembled Triple-C model set.
 type Predictor struct {
 	Models    map[tasks.Name]Model
@@ -139,6 +149,10 @@ type Predictor struct {
 	rdgChain *EWMAMarkovModel // kept for Table 2a access
 
 	lastObs *Observation
+
+	sink     MetricsSink
+	lastPred Prediction // most recent PredictNext result, for error accounting
+	havePred bool
 }
 
 // Train fits all models from one or more observation sequences (the paper
@@ -263,10 +277,32 @@ func (p *Predictor) ResetOnline() {
 		m.ResetOnline()
 	}
 	p.lastObs = nil
+	p.havePred = false
+}
+
+// SetMetricsSink installs (or, with nil, removes) the prediction-error
+// sink. Like Observe/PredictNext it follows the predictor's single-
+// goroutine contract.
+func (p *Predictor) SetMetricsSink(s MetricsSink) {
+	p.sink = s
+	p.havePred = false
 }
 
 // Observe feeds the actual resource usage of the frame just executed.
+// When a metrics sink is installed, the observation is first scored against
+// the most recent PredictNext forecast — the paper's profiling step
+// ("statistical information of the differences between the actually
+// consumed resources and the predicted values") made observable live.
 func (p *Predictor) Observe(obs Observation) {
+	if p.sink != nil && p.havePred {
+		for task, actual := range obs.TaskMs {
+			if predicted, ok := p.lastPred.TaskMs[task]; ok {
+				p.sink.TaskSample(task, predicted, actual)
+			}
+		}
+		p.sink.ScenarioSample(p.lastPred.Scenario, obs.Scenario)
+		p.havePred = false
+	}
 	for task, ms := range obs.TaskMs {
 		m, ok := p.Models[task]
 		if !ok {
@@ -311,6 +347,12 @@ func (p *Predictor) PredictNext() Prediction {
 		ms := m.Predict(ctx)
 		pred.TaskMs[task] = ms
 		pred.TotalMs += ms
+	}
+	if p.sink != nil {
+		// Remember the forecast by value (the map header is shared, not
+		// copied) so the next Observe can score it without allocating.
+		p.lastPred = pred
+		p.havePred = true
 	}
 	return pred
 }

@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered instrument in the Prometheus
+// text exposition format (version 0.0.4): `# HELP` / `# TYPE` headers per
+// family, one sample line per instrument, and the cumulative
+// _bucket/_sum/_count triplet for histograms. Families appear in
+// registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	bw := bufio.NewWriter(w)
+	for _, f := range snap.Families {
+		if f.Help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.Help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.Kind.String())
+		bw.WriteByte('\n')
+		for _, m := range f.Metrics {
+			switch f.Kind {
+			case KindCounter, KindGauge:
+				writeSample(bw, f.Name, "", m.LabelStr, "", m.Value)
+			case KindHistogram:
+				h := m.Histogram
+				cum := uint64(0)
+				for i, c := range h.Counts {
+					cum += c
+					le := "+Inf"
+					if i < len(h.Bounds) {
+						le = formatFloat(h.Bounds[i])
+					}
+					writeSample(bw, f.Name, "_bucket", m.LabelStr, le, float64(cum))
+				}
+				writeSample(bw, f.Name, "_sum", m.LabelStr, "", h.Sum)
+				writeSample(bw, f.Name, "_count", m.LabelStr, "", float64(h.Count))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one `name{labels} value` line; le, when non-empty, is
+// merged into the label set as the bucket bound.
+func writeSample(bw *bufio.Writer, name, suffix, labels, le string, v float64) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if labels != "" || le != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		if le != "" {
+			if labels != "" {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(`le="`)
+			bw.WriteString(le)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler returns an http.Handler serving the registry in the Prometheus
+// text format — mount it at /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// The write goes straight to the response; a scrape error at this
+		// point means the client went away, nothing to recover.
+		_ = r.WritePrometheus(w)
+	})
+}

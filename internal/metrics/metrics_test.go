@@ -1,0 +1,416 @@
+package metrics
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", g.Value())
+	}
+	// Nil receivers are no-ops so call sites need no telemetry branch.
+	var nc *Counter
+	var ng *Gauge
+	nc.Inc()
+	ng.Set(1)
+	if nc.Value() != 0 || ng.Value() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 10, math.NaN()} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5 (NaN dropped)", s.Count)
+	}
+	want := []uint64{2, 1, 1, 1} // ≤1, ≤2, ≤5, +Inf
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if s.Sum != 16 {
+		t.Fatalf("sum = %v, want 16", s.Sum)
+	}
+	if m := s.Mean(); m != 3.2 {
+		t.Fatalf("mean = %v, want 3.2", m)
+	}
+	if q := s.Quantile(0.5); q <= 0 || q > 2 {
+		t.Fatalf("p50 = %v, want within (0, 2]", q)
+	}
+	if q := s.Quantile(1); q != 5 {
+		t.Fatalf("p100 = %v, want clamp to last finite bound 5", q)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", q)
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.NewCounter("bad name", ""); err == nil {
+		t.Fatal("invalid metric name accepted")
+	}
+	if _, err := r.NewCounter("ok_total", "", L("__reserved", "x")); err == nil {
+		t.Fatal("reserved label name accepted")
+	}
+	if _, err := r.NewCounter("ok_total", "", L("stream", "a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.NewCounter("ok_total", "", L("stream", "a")); err == nil {
+		t.Fatal("duplicate (name, labels) accepted")
+	}
+	if _, err := r.NewGauge("ok_total", ""); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+	if _, err := r.NewHistogram("h", "", nil); err == nil {
+		t.Fatal("empty buckets accepted")
+	}
+	if _, err := r.NewHistogram("h", "", []float64{1, 1}); err == nil {
+		t.Fatal("non-increasing buckets accepted")
+	}
+	if _, err := r.NewHistogram("h", "", []float64{1, math.Inf(1)}); err == nil {
+		t.Fatal("non-finite bucket accepted")
+	}
+	if _, err := r.NewHistogram("h", "", []float64{1}, L("le", "x")); err == nil {
+		t.Fatal("reserved le label accepted on histogram")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	c, err := r.NewCounter("c_total", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.NewHistogram("h_ms", "", []float64{1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(float64(i % 20))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != goroutines*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), goroutines*per)
+	}
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*per)
+	}
+}
+
+// TestRecordPathAllocFree pins the instrumented frame path at zero
+// steady-state allocations: every recording primitive the hot loops call is
+// pure atomics.
+func TestRecordPathAllocFree(t *testing.T) {
+	r := NewRegistry()
+	a, err := NewAccountant(r, AccountantConfig{Stream: "pin", Tasks: []string{"T0", "T1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		a.Offered.Inc()
+		a.Processed.Inc()
+		a.LastLatencyMs.Set(12.5)
+		a.FrameLatencyMs.Observe(12.5)
+		a.ObserveTask(0, 3.25)
+		a.ObservePrediction(1, 3.5, 3.25)
+		a.ObserveScenario(true)
+		a.ObserveResourceErr(0.05, -0.02)
+	})
+	if allocs != 0 {
+		t.Fatalf("record path allocates %.1f times per frame, want 0", allocs)
+	}
+}
+
+// parseExposition is a strict little parser for the Prometheus text format:
+// it validates every line, checks TYPE declarations precede samples, that
+// histogram buckets are cumulative and le="+Inf" matches _count, and
+// returns the scalar samples.
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	typed := map[string]string{}
+	lastBucket := map[string]float64{} // series (sans le) -> cumulative count
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 || !validMetricName(parts[2]) {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			if parts[1] == "TYPE" {
+				typed[parts[2]] = parts[3]
+			}
+			continue
+		}
+		// Sample line: name{labels} value  |  name value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator in %q", ln+1, line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		var v float64
+		switch valStr {
+		case "+Inf":
+			v = math.Inf(1)
+		case "-Inf":
+			v = math.Inf(-1)
+		case "NaN":
+			v = math.NaN()
+		default:
+			var err error
+			if v, err = parseFloat(valStr); err != nil {
+				t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+			}
+		}
+		name := series
+		labels := ""
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("line %d: unterminated label set in %q", ln+1, series)
+			}
+			name, labels = series[:i], series[i+1:len(series)-1]
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
+			"_bucket"), "_sum"), "_count")
+		if typed[name] == "" && typed[base] == "" {
+			t.Fatalf("line %d: sample %q precedes its TYPE declaration", ln+1, name)
+		}
+		if !validMetricName(name) {
+			t.Fatalf("line %d: invalid metric name %q", ln+1, name)
+		}
+		for _, kv := range splitLabels(labels) {
+			eq := strings.IndexByte(kv, '=')
+			if eq < 0 || !validLabelName(kv[:eq]) && kv[:eq] != "le" {
+				t.Fatalf("line %d: malformed label %q", ln+1, kv)
+			}
+			val := kv[eq+1:]
+			if len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+				t.Fatalf("line %d: unquoted label value %q", ln+1, kv)
+			}
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			key := base + "{" + stripLE(labels) + "}"
+			if prev, ok := lastBucket[key]; ok && v < prev {
+				t.Fatalf("line %d: histogram %q buckets not cumulative (%v < %v)", ln+1, key, v, prev)
+			}
+			lastBucket[key] = v
+			if strings.Contains(labels, `le="+Inf"`) {
+				samples[base+"_inf{"+stripLE(labels)+"}"] = v
+			}
+			continue
+		}
+		samples[series] = v
+	}
+	// Every histogram's +Inf bucket must equal its _count.
+	for key, v := range samples {
+		if i := strings.Index(key, "_inf{"); i >= 0 {
+			countKey := key[:i] + "_count{" + key[i+len("_inf{"):]
+			if c, ok := samples[countKey]; !ok || c != v {
+				t.Fatalf("histogram %q: le=\"+Inf\" bucket %v != count %v", key, v, c)
+			}
+		}
+	}
+	return samples
+}
+
+func parseFloat(s string) (float64, error) {
+	return strconv.ParseFloat(s, 64)
+}
+
+func splitLabels(s string) []string {
+	if s == "" {
+		return nil
+	}
+	// Label values produced by this package never contain unescaped commas
+	// inside quotes except in task/stream names, which the tests avoid.
+	return strings.Split(s, ",")
+}
+
+func stripLE(labels string) string {
+	var out []string
+	for _, kv := range splitLabels(labels) {
+		if !strings.HasPrefix(kv, "le=") {
+			out = append(out, kv)
+		}
+	}
+	return strings.Join(out, ",")
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	a, err := NewAccountant(r, AccountantConfig{Stream: "s0", Tasks: []string{"RDG_FULL", "MKX_EXT"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Offered.Add(10)
+	a.Processed.Add(9)
+	a.Skipped.Inc()
+	a.BudgetMs.Set(33.5)
+	a.FrameLatencyMs.Observe(12)
+	a.FrameLatencyMs.Observe(48)
+	a.ObserveTask(0, 7.5)
+	a.ObservePrediction(0, 8, 7.5)
+	a.ObserveScenario(true)
+	a.ObserveScenario(false)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	samples := parseExposition(t, text)
+
+	if got := samples[`triplec_frames_offered_total{stream="s0"}`]; got != 10 {
+		t.Fatalf("offered = %v, want 10", got)
+	}
+	if got := samples[`triplec_budget_ms{stream="s0"}`]; got != 33.5 {
+		t.Fatalf("budget = %v, want 33.5", got)
+	}
+	if got := samples[`triplec_frame_latency_ms_count{stream="s0"}`]; got != 2 {
+		t.Fatalf("latency count = %v, want 2", got)
+	}
+	if got := samples[`triplec_frame_latency_ms_sum{stream="s0"}`]; got != 60 {
+		t.Fatalf("latency sum = %v, want 60", got)
+	}
+	if got := samples[`triplec_task_ms_count{stream="s0",task="RDG_FULL"}`]; got != 1 {
+		t.Fatalf("task count = %v, want 1", got)
+	}
+	if !strings.Contains(text, "# TYPE triplec_frame_latency_ms histogram") {
+		t.Fatal("missing histogram TYPE line")
+	}
+	if !strings.Contains(text, "# TYPE triplec_frames_offered_total counter") {
+		t.Fatal("missing counter TYPE line")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.NewGauge("g", "help with \\ and\nnewline", L("stream", "a\"b\\c\nd")); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if !strings.Contains(text, `stream="a\"b\\c\nd"`) {
+		t.Fatalf("label value not escaped: %q", text)
+	}
+	if !strings.Contains(text, `# HELP g help with \\ and\nnewline`) {
+		t.Fatalf("help not escaped: %q", text)
+	}
+}
+
+func TestAccountantHelpers(t *testing.T) {
+	r := NewRegistry()
+	a, err := NewAccountant(r, AccountantConfig{Stream: "s", Tasks: []string{"A"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MissRate() != 0 || a.ScenarioHitRate() != 0 {
+		t.Fatal("fresh accountant rates must be 0")
+	}
+	a.Processed.Add(4)
+	a.DeadlineMisses.Inc()
+	if got := a.MissRate(); got != 0.25 {
+		t.Fatalf("miss rate = %v, want 0.25", got)
+	}
+	a.ObserveScenario(true)
+	a.ObserveScenario(true)
+	a.ObserveScenario(false)
+	if got := a.ScenarioHitRate(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("scenario hit rate = %v, want 2/3", got)
+	}
+	// Out-of-range task indices and zero actuals must be dropped, not panic.
+	a.ObserveTask(-1, 1)
+	a.ObserveTask(99, 1)
+	a.ObservePrediction(0, 1, 0)
+	if got := a.TaskRelErr[0].Count(); got != 0 {
+		t.Fatalf("zero-actual prediction recorded a relative error (count=%d)", got)
+	}
+	if RelErr(11, 10) != 0.1 {
+		t.Fatalf("RelErr = %v, want 0.1", RelErr(11, 10))
+	}
+	if RelErr(1, 0) != 0 || RelErr(math.NaN(), 1) != 0 || RelErr(1, math.Inf(1)) != 0 {
+		t.Fatal("RelErr must be 0 for unscalable inputs")
+	}
+	// Duplicate stream label on the same registry must fail.
+	if _, err := NewAccountant(r, AccountantConfig{Stream: "s", Tasks: []string{"A"}}); err == nil {
+		t.Fatal("duplicate accountant accepted")
+	}
+}
+
+func TestSnapshotOrderStable(t *testing.T) {
+	r := NewRegistry()
+	c1, _ := r.NewCounter("first_total", "")
+	g1, _ := r.NewGauge("second", "")
+	c1.Add(3)
+	g1.Set(7)
+	s1 := r.Snapshot()
+	// Registering more instruments must append, keeping earlier indices
+	// stable (the trace bridge depends on this).
+	if _, err := r.NewCounter("third_total", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.NewCounter("first_total", "", L("stream", "x")); err != nil {
+		t.Fatal(err)
+	}
+	s2 := r.Snapshot()
+	if s1.Families[0].Name != s2.Families[0].Name || s1.Families[1].Name != s2.Families[1].Name {
+		t.Fatal("family order changed across registrations")
+	}
+	if s2.Families[0].Metrics[0].Value != 3 {
+		t.Fatalf("first_total = %v, want 3", s2.Families[0].Metrics[0].Value)
+	}
+	if len(s2.Families) != 3 {
+		t.Fatalf("families = %d, want 3", len(s2.Families))
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(1, 2, 3)
+	if len(lin) != 3 || lin[0] != 1 || lin[2] != 5 {
+		t.Fatalf("LinearBuckets = %v", lin)
+	}
+	exp := ExponentialBuckets(1, 10, 3)
+	if len(exp) != 3 || exp[2] != 100 {
+		t.Fatalf("ExponentialBuckets = %v", exp)
+	}
+	for _, bs := range [][]float64{DefaultLatencyBucketsMs(), DefaultSignedErrorBuckets()} {
+		for i := 1; i < len(bs); i++ {
+			if bs[i] <= bs[i-1] {
+				t.Fatalf("default buckets not increasing: %v", bs)
+			}
+		}
+	}
+}

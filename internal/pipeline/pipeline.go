@@ -121,6 +121,8 @@ type Engine struct {
 	prevFrame  *frame.Frame
 	prevCouple *tasks.Couple
 	prevROI    frame.Rect
+
+	observer func(Report)
 }
 
 // New builds an engine for the given configuration.
@@ -170,6 +172,17 @@ func New(cfg Config) (*Engine, error) {
 
 // Machine exposes the engine's machine model.
 func (e *Engine) Machine() *platform.Machine { return e.machine }
+
+// Config returns the engine's effective configuration (defaults applied).
+func (e *Engine) Config() Config { return e.cfg }
+
+// SetObserver installs a per-frame telemetry hook invoked at the end of
+// every successful Process with the frame's report, on the processing
+// goroutine, before Process returns. The report is passed by value so the
+// hook cannot retain engine state; the hook must not call back into the
+// engine (same single-goroutine contract as Process). A nil fn removes the
+// hook.
+func (e *Engine) SetObserver(fn func(Report)) { e.observer = fn }
 
 // Params exposes the calibrated cost parameters.
 func (e *Engine) Params() tasks.CostParams { return e.params }
@@ -301,6 +314,9 @@ func (e *Engine) Process(f *frame.Frame, m partition.Mapping) (Report, error) {
 		e.prevCouple = nil
 	}
 	e.prevROI = newROI
+	if e.observer != nil {
+		e.observer(rep)
+	}
 	return rep, nil
 }
 

@@ -1,0 +1,56 @@
+package sched
+
+import (
+	"triplec/internal/metrics"
+)
+
+// ManagerMetrics is the runtime manager's live instrument set. Individual
+// fields may be nil; every hook records only through the handles that are
+// set (and the metrics primitives themselves are nil-safe), so callers can
+// wire exactly the subset they expose.
+type ManagerMetrics struct {
+	// BudgetMs tracks the manager's current latency budget (updated by
+	// InitBudget and, with an adaptive Budgeter, every Observe).
+	BudgetMs *metrics.Gauge
+	// PredictedMs tracks the predicted latency of each Plan's chosen
+	// mapping; SerialMs tracks the serial forecast alongside it.
+	PredictedMs, SerialMs *metrics.Gauge
+	// CoreBudget tracks the manager's current core allocation (0 = whole
+	// machine), updated by SetCoreBudget.
+	CoreBudget *metrics.Gauge
+	// Repartitions counts Plans whose mapping differed from the previous
+	// frame's — the on-the-fly repartitioning rate.
+	Repartitions *metrics.Counter
+	// Plans counts Plan invocations.
+	Plans *metrics.Counter
+}
+
+// MultiMetrics is the cross-stream arbiter's instrument set.
+type MultiMetrics struct {
+	// Rebalances counts applied core re-divisions.
+	Rebalances *metrics.Counter
+	// CoreAllocation, when its length matches the stream count, receives
+	// every stream's budget after each re-division.
+	CoreAllocation []*metrics.Gauge
+}
+
+// recordPlan publishes one Plan decision.
+func (m *Manager) recordPlan(dec Decision) {
+	mm := m.Metrics
+	if mm == nil {
+		return
+	}
+	mm.Plans.Inc()
+	mm.PredictedMs.Set(dec.PredictedMs)
+	mm.SerialMs.Set(dec.SerialMs)
+	if dec.Repartition {
+		mm.Repartitions.Inc()
+	}
+}
+
+// recordBudget publishes the current latency budget.
+func (m *Manager) recordBudget() {
+	if mm := m.Metrics; mm != nil {
+		mm.BudgetMs.Set(m.BudgetMs)
+	}
+}

@@ -38,6 +38,9 @@ func (m *Manager) SetCoreBudget(cores int) error {
 		return fmt.Errorf("sched: core budget %d out of range 0..%d", cores, m.arch.NumCPUs)
 	}
 	m.coreBudget = cores
+	if mm := m.Metrics; mm != nil {
+		mm.CoreBudget.Set(float64(cores))
+	}
 	return nil
 }
 

@@ -140,6 +140,9 @@ type MultiManager struct {
 	// Alpha is the demand-smoothing factor in (0, 1]; 1 disables smoothing.
 	// Mutate only before the first ReportDemand.
 	Alpha float64
+	// Metrics, when set, publishes every applied re-division (see
+	// MultiMetrics). Mutate only before the first Rebalance.
+	Metrics *MultiMetrics
 
 	mu         sync.Mutex
 	totalCores int
@@ -207,6 +210,14 @@ func (mm *MultiManager) Rebalance() []int {
 	if b, err := SplitCores(mm.totalCores, mm.demands); err == nil {
 		mm.budgets = b
 		mm.rebalances++
+		if m := mm.Metrics; m != nil {
+			m.Rebalances.Inc()
+			if len(m.CoreAllocation) == len(b) {
+				for i, cores := range b {
+					m.CoreAllocation[i].Set(float64(cores))
+				}
+			}
+		}
 	}
 	out := make([]int, len(mm.budgets))
 	copy(out, mm.budgets)

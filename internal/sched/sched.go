@@ -51,6 +51,10 @@ type Manager struct {
 	// budget at initialization; the controller re-centers it when the
 	// initial frame was unrepresentative.
 	Budgeter *BudgetController
+	// Metrics, when set, publishes the manager's planning decisions and
+	// budget to live instruments (see ManagerMetrics). Install before the
+	// first Plan; the hooks run on the manager's goroutine.
+	Metrics *ManagerMetrics
 
 	switchMs    float64 // per-stripe fork/join overhead in ms
 	lastMapping partition.Mapping
@@ -91,6 +95,7 @@ func (m *Manager) InitBudget(firstFrameMs float64) {
 	// frames are cheaper. 85% of the first latency approximates the
 	// average case across scenarios.
 	m.BudgetMs = firstFrameMs * 0.85
+	m.recordBudget()
 }
 
 // estStripedMs estimates the execution time of a task predicted to take
@@ -118,6 +123,12 @@ const MinScenarioP = 0.04
 // surprise the mapping. With no budget set it returns the serial mapping
 // (profiling mode).
 func (m *Manager) Plan() Decision {
+	dec := m.plan()
+	m.recordPlan(dec)
+	return dec
+}
+
+func (m *Manager) plan() Decision {
 	pred := m.predictor.PredictNext()
 	serial := pred.TotalMs
 	dec := Decision{Mapping: partition.Serial(), PredictedMs: serial, SerialMs: serial}
@@ -248,6 +259,7 @@ func (m *Manager) Observe(obs core.Observation) {
 	if m.Budgeter != nil && m.BudgetMs > 0 {
 		if b, err := m.Budgeter.Observe(m.BudgetMs, obs.TotalMs); err == nil {
 			m.BudgetMs = b
+			m.recordBudget()
 		}
 	}
 }

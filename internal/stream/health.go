@@ -1,0 +1,126 @@
+package stream
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+)
+
+// Health is one stream's live serving summary, assembled from the stream's
+// telemetry instruments. Every numeric field is sanitized to a finite value
+// so the JSON encoding can never fail on NaN/Inf.
+type Health struct {
+	Stream string `json:"stream"`
+	// State is "idle" (before the first Run), "serving", "done" or
+	// "failed"; Error carries the serve error of a failed stream.
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+
+	Offered         uint64 `json:"offered"`
+	Processed       uint64 `json:"processed"`
+	Skipped         uint64 `json:"skipped"`
+	SerialFallbacks uint64 `json:"serial_fallbacks"`
+	DeadlineMisses  uint64 `json:"deadline_misses"`
+	AccountingErrs  uint64 `json:"accounting_errors"`
+	LastFrame       int    `json:"last_frame"`
+
+	MissRate        float64 `json:"miss_rate"`
+	ScenarioHitRate float64 `json:"scenario_hit_rate"`
+	BudgetMs        float64 `json:"budget_ms"`
+	LastLatencyMs   float64 `json:"last_latency_ms"`
+	MeanLatencyMs   float64 `json:"mean_latency_ms"`
+	P95LatencyMs    float64 `json:"p95_latency_ms"`
+	CoreBudget      float64 `json:"core_budget"`
+}
+
+// healthReport is the /healthz response body.
+type healthReport struct {
+	Status  string   `json:"status"` // "ok" or "degraded"
+	Streams []Health `json:"streams"`
+}
+
+func stateString(s int32) string {
+	switch s {
+	case streamServing:
+		return "serving"
+	case streamDone:
+		return "done"
+	case streamFailed:
+		return "failed"
+	}
+	return "idle"
+}
+
+func finiteOr0(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// Healths returns every stream's live serving summary. It is safe to call
+// concurrently with Run (the instruments are atomics) and returns nil when
+// the server was built without a metrics registry.
+func (s *Server) Healths() []Health {
+	if len(s.tels) == 0 {
+		return nil
+	}
+	out := make([]Health, len(s.tels))
+	for i, t := range s.tels {
+		a := t.acct
+		lat := a.FrameLatencyMs.Snapshot()
+		h := Health{
+			Stream:          streamLabel(s.streams[i], i),
+			State:           stateString(t.state.Load()),
+			Offered:         a.Offered.Value(),
+			Processed:       a.Processed.Value(),
+			Skipped:         a.Skipped.Value(),
+			SerialFallbacks: a.SerialFallbacks.Value(),
+			DeadlineMisses:  a.DeadlineMisses.Value(),
+			AccountingErrs:  a.AccountingErrs.Value(),
+			LastFrame:       int(finiteOr0(a.LastFrame.Value())),
+			MissRate:        finiteOr0(a.MissRate()),
+			ScenarioHitRate: finiteOr0(a.ScenarioHitRate()),
+			BudgetMs:        finiteOr0(a.BudgetMs.Value()),
+			LastLatencyMs:   finiteOr0(a.LastLatencyMs.Value()),
+			MeanLatencyMs:   finiteOr0(lat.Mean()),
+			P95LatencyMs:    finiteOr0(lat.Quantile(0.95)),
+			CoreBudget:      finiteOr0(a.CoreBudget.Value()),
+		}
+		if msg, ok := t.errMsg.Load().(string); ok {
+			h.Error = msg
+		}
+		out[i] = h
+	}
+	return out
+}
+
+// HealthHandler serves the per-stream liveness and miss-rate summary as
+// JSON — mount it at /healthz. It answers 200 with status "ok" while every
+// stream is healthy and 503 with status "degraded" once any stream has
+// failed; without telemetry enabled it answers 404.
+func (s *Server) HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		streams := s.Healths()
+		if streams == nil {
+			http.Error(w, `{"error":"telemetry disabled: build the server with ServerConfig.Metrics"}`,
+				http.StatusNotFound)
+			return
+		}
+		rep := healthReport{Status: "ok", Streams: streams}
+		code := http.StatusOK
+		for _, h := range streams {
+			if h.State == "failed" {
+				rep.Status = "degraded"
+				code = http.StatusServiceUnavailable
+				break
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		// Encoding cannot fail: every numeric field is sanitized finite.
+		_ = enc.Encode(rep)
+	})
+}

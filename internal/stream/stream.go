@@ -24,10 +24,12 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"triplec/internal/core"
 	"triplec/internal/frame"
+	"triplec/internal/metrics"
 	"triplec/internal/parallel"
 	"triplec/internal/partition"
 	"triplec/internal/pipeline"
@@ -56,22 +58,32 @@ type ServerConfig struct {
 	// shared pool size). 0 defaults to GOMAXPROCS.
 	HostWorkers int
 	// RebalanceEvery is the number of per-stream demand reports between
-	// controller re-divisions (default 4).
+	// controller re-divisions. 0 means the default of 4; negative values
+	// are rejected by NewServer.
 	RebalanceEvery int
 	// SkipOver is the aggregate load ratio (predicted core need / machine
-	// cores) beyond which under-allocated streams skip alternate frames
-	// (default 2.0).
+	// cores) beyond which under-allocated streams skip alternate frames.
+	// 0 means the default of 2.0; negative or NaN values are rejected by
+	// NewServer.
 	SkipOver float64
+	// Metrics, when set, enables the live telemetry layer: NewServer
+	// registers one per-stream instrument set (metrics.Accountant plus the
+	// plan-level gauges) and the global arbiter instruments on this
+	// registry, and threads them through the engine, predictor and manager
+	// hot paths. Stream names label the instruments, so they must be
+	// unique (empty names fall back to stream<i>). Expose the registry via
+	// metrics.Handler and the per-stream summary via Server.HealthHandler.
+	Metrics *metrics.Registry
 }
 
 func (c ServerConfig) withDefaults(streams []Config) ServerConfig {
 	if c.ModelCores == 0 && len(streams) > 0 {
 		c.ModelCores = streams[0].Manager.Arch().NumCPUs
 	}
-	if c.RebalanceEvery <= 0 {
+	if c.RebalanceEvery == 0 {
 		c.RebalanceEvery = 4
 	}
-	if c.SkipOver <= 0 {
+	if c.SkipOver == 0 {
 		c.SkipOver = 2.0
 	}
 	return c
@@ -123,6 +135,10 @@ type RunResult struct {
 type Server struct {
 	cfg     ServerConfig
 	streams []Config
+
+	// Telemetry (nil/empty unless cfg.Metrics was set).
+	tels         []*telemetry
+	multiMetrics *sched.MultiMetrics
 }
 
 // NewServer validates the stream set and builds a server.
@@ -141,11 +157,36 @@ func NewServer(cfg ServerConfig, streams []Config) (*Server, error) {
 			return nil, fmt.Errorf("stream: stream %d (%q) has negative budget", i, s.Name)
 		}
 	}
+	if cfg.RebalanceEvery < 0 {
+		return nil, fmt.Errorf("stream: RebalanceEvery %d is negative; use 0 for the default of 4 demand reports per re-division", cfg.RebalanceEvery)
+	}
+	if cfg.SkipOver < 0 || math.IsNaN(cfg.SkipOver) {
+		return nil, fmt.Errorf("stream: SkipOver %v is invalid; use 0 for the default load ratio of 2.0", cfg.SkipOver)
+	}
 	cfg = cfg.withDefaults(streams)
 	if cfg.ModelCores < 1 {
 		return nil, fmt.Errorf("stream: modeled machine needs at least one core, got %d", cfg.ModelCores)
 	}
-	return &Server{cfg: cfg, streams: streams}, nil
+	srv := &Server{cfg: cfg, streams: streams}
+	if cfg.Metrics != nil {
+		srv.tels = make([]*telemetry, len(streams))
+		coreAlloc := make([]*metrics.Gauge, len(streams))
+		for i, sc := range streams {
+			t, err := newTelemetry(cfg.Metrics, sc, i)
+			if err != nil {
+				return nil, err
+			}
+			srv.tels[i] = t
+			coreAlloc[i] = t.acct.CoreBudget
+		}
+		rebalances, err := cfg.Metrics.NewCounter("triplec_rebalances_total",
+			"Cross-stream core re-divisions applied by the arbiter.")
+		if err != nil {
+			return nil, err
+		}
+		srv.multiMetrics = &sched.MultiMetrics{Rebalances: rebalances, CoreAllocation: coreAlloc}
+	}
+	return srv, nil
 }
 
 // Run serves n frames on every stream concurrently and returns the
@@ -159,6 +200,7 @@ func (s *Server) Run(n int) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
+	mm.Metrics = s.multiMetrics
 	budgets := make([]float64, len(s.streams))
 	for i, sc := range s.streams {
 		budgets[i] = sc.BudgetMs
@@ -172,7 +214,11 @@ func (s *Server) Run(n int) (RunResult, error) {
 	done := make(chan int, len(s.streams))
 	for i := range s.streams {
 		go func(si int) {
-			out.Streams[si] = serveOne(si, s.streams[si], n, ctl, pool)
+			var tel *telemetry
+			if s.tels != nil {
+				tel = s.tels[si]
+			}
+			out.Streams[si] = serveOne(si, s.streams[si], n, ctl, pool, tel)
 			done <- si
 		}(i)
 	}
@@ -189,26 +235,35 @@ func (s *Server) Run(n int) (RunResult, error) {
 	for i := range out.Streams {
 		r := &out.Streams[i]
 		processed += r.Stats.Processed
-		if wall > 0 {
-			r.Stats.ThroughputFPS = float64(r.Stats.Processed) / wall.Seconds()
-		}
+		r.Stats.ThroughputFPS = throughputFPS(r.Stats.Processed, wall)
 		if r.Err != nil {
 			errs = append(errs, fmt.Errorf("stream %q: %w", r.Stats.Name, r.Err))
 		}
 	}
-	if wall > 0 {
-		out.AggregateFPS = float64(processed) / wall.Seconds()
-	}
+	out.AggregateFPS = throughputFPS(processed, wall)
 	return out, errors.Join(errs...)
 }
 
+// throughputFPS divides processed frames by the wall-clock duration,
+// returning an explicit 0 for zero-duration (or clock-skewed negative) runs
+// so downstream consumers — Stats, /healthz JSON — never see NaN or Inf.
+func throughputFPS(processed int, wall time.Duration) float64 {
+	if processed <= 0 || wall <= 0 {
+		return 0
+	}
+	return float64(processed) / wall.Seconds()
+}
+
 // serveOne is the per-stream goroutine body: admission, planning,
-// processing on the shared pool, observation, demand reporting.
-func serveOne(si int, sc Config, n int, ctl *controller, pool *parallel.Pool) Result {
+// processing on the shared pool, observation, demand reporting. tel may be
+// nil (telemetry disabled); its event methods are nil-safe.
+func serveOne(si int, sc Config, n int, ctl *controller, pool *parallel.Pool, tel *telemetry) Result {
 	res := Result{
 		Stats:   Stats{Name: sc.Name, BudgetMs: sc.BudgetMs},
 		Reports: make([]pipeline.Report, 0, n),
 	}
+	tel.serving()
+	defer func() { tel.finished(res.Err) }()
 	tr := trace.New()
 	for _, col := range []string{"latency_ms", "predicted_ms", "cores", "missed", "skipped", "serial"} {
 		if err := tr.AddEmpty(col); err != nil {
@@ -225,9 +280,11 @@ func serveOne(si int, sc Config, n int, ctl *controller, pool *parallel.Pool) Re
 	var latencySum float64
 	for i := 0; i < n; i++ {
 		res.Stats.Offered++
+		tel.offered(i)
 		d := ctl.directive(si, i)
 		if d.Mode == ModeSkip {
 			res.Stats.Skipped++
+			tel.skipped()
 			if err := tr.Append(0, 0, 0, 0, 1, 0); err != nil {
 				res.Err = err
 				return res
@@ -250,6 +307,7 @@ func serveOne(si int, sc Config, n int, ctl *controller, pool *parallel.Pool) Re
 			dec.Mapping = partition.Serial()
 			serialFrame = 1
 			res.Stats.SerialFallbacks++
+			tel.serialFallback()
 		}
 		f := sc.Source(i)
 		if f == nil {
@@ -287,6 +345,7 @@ func serveOne(si int, sc Config, n int, ctl *controller, pool *parallel.Pool) Re
 		if len(rep.AccountingErrs) > 0 {
 			res.Stats.AccountingErrs++
 		}
+		tel.processed(rep.LatencyMs, missed == 1, len(rep.AccountingErrs) > 0)
 		if err := tr.Append(rep.LatencyMs, dec.PredictedMs, float64(d.Cores), missed, 0, serialFrame); err != nil {
 			res.Err = err
 			return res
@@ -301,6 +360,7 @@ func serveOne(si int, sc Config, n int, ctl *controller, pool *parallel.Pool) Re
 		if demand <= 0 {
 			demand = rep.LatencyMs
 		}
+		tel.demand(demand)
 		ctl.report(si, demand)
 	}
 	if res.Stats.Processed > 0 {

@@ -1,0 +1,214 @@
+package stream
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"triplec/internal/bandwidth"
+	"triplec/internal/flowgraph"
+	"triplec/internal/memmodel"
+	"triplec/internal/metrics"
+	"triplec/internal/pipeline"
+	"triplec/internal/sched"
+	"triplec/internal/tasks"
+)
+
+// telemetry is one stream's live-instrumentation glue: it owns the stream's
+// prediction-error accountant, implements core.MetricsSink for the
+// predictor's per-frame error samples, observes every pipeline report, and
+// tracks the stream goroutine's liveness for /healthz. All event methods
+// are nil-safe so the serving loop carries no telemetry-enabled branches,
+// and the record path is pure atomics — no allocation, map lookups or fmt
+// per frame (the per-scenario resource forecasts are precomputed tables).
+type telemetry struct {
+	acct *metrics.Accountant
+
+	// Extra plan-level instruments not covered by the accountant.
+	planPredictedMs *metrics.Gauge
+	planSerialMs    *metrics.Gauge
+	plans           *metrics.Counter
+
+	// Per-scenario resource forecasts at the stream's modeled geometry,
+	// indexed by flowgraph.Scenario.Index(): the predicted-vs-actual
+	// scenario pair maps to a bandwidth and cache-occupation model error
+	// with two table reads instead of re-running the analysis per frame.
+	bwMBs   [8]float64
+	cacheKB [8]float64
+
+	state  atomic.Int32 // streamIdle | streamServing | streamDone | streamFailed
+	errMsg atomic.Value // string; last serve error
+}
+
+const (
+	streamIdle = int32(iota)
+	streamServing
+	streamDone
+	streamFailed
+)
+
+// streamLabel names stream i for instruments and health reports.
+func streamLabel(sc Config, i int) string {
+	if sc.Name != "" {
+		return sc.Name
+	}
+	return fmt.Sprintf("stream%d", i)
+}
+
+// newTelemetry registers stream i's instruments on the registry and wires
+// the engine, predictor and manager hot paths to them.
+func newTelemetry(reg *metrics.Registry, sc Config, i int) (*telemetry, error) {
+	name := streamLabel(sc, i)
+	taskNames := make([]string, tasks.NumNames)
+	for ti, tn := range tasks.AllNames() {
+		taskNames[ti] = string(tn)
+	}
+	acct, err := metrics.NewAccountant(reg, metrics.AccountantConfig{Stream: name, Tasks: taskNames})
+	if err != nil {
+		return nil, fmt.Errorf("stream: %s: %w", name, err)
+	}
+	t := &telemetry{acct: acct}
+	sl := metrics.L("stream", name)
+	if t.planPredictedMs, err = reg.NewGauge("triplec_plan_predicted_ms",
+		"Predicted latency of the mapping chosen by the last Plan.", sl); err != nil {
+		return nil, err
+	}
+	if t.planSerialMs, err = reg.NewGauge("triplec_plan_serial_ms",
+		"Predicted latency of the serial mapping at the last Plan.", sl); err != nil {
+		return nil, err
+	}
+	if t.plans, err = reg.NewCounter("triplec_plans_total",
+		"Runtime-manager planning decisions taken.", sl); err != nil {
+		return nil, err
+	}
+
+	// Precompute the per-scenario bandwidth and cache-occupation forecasts
+	// at the engine's modeled geometry.
+	cfg := sc.Engine.Config()
+	cacheKB := cfg.Arch.L2.SizeBytes / 1024
+	for si := 0; si < 8; si++ {
+		s := flowgraph.FromIndex(si)
+		an, err := bandwidth.Analyze(s, cfg.ModelFrameKB, cacheKB, cfg.FrameRate)
+		if err != nil {
+			return nil, fmt.Errorf("stream: %s: scenario %s bandwidth table: %w", name, s, err)
+		}
+		t.bwMBs[si] = an.TotalMBs()
+		occ := 0
+		for _, task := range s.ActiveTasks() {
+			req, err := memmodel.Lookup(task, s.RDGOn, cfg.ModelFrameKB)
+			if err != nil {
+				return nil, fmt.Errorf("stream: %s: scenario %s cache table: %w", name, s, err)
+			}
+			occ += req.TotalKB()
+		}
+		t.cacheKB[si] = float64(occ)
+	}
+
+	// Thread the instruments through the hot paths.
+	sc.Engine.SetObserver(t.observeReport)
+	sc.Manager.Predictor().SetMetricsSink(t)
+	sc.Manager.Metrics = &sched.ManagerMetrics{
+		BudgetMs:     acct.BudgetMs,
+		PredictedMs:  t.planPredictedMs,
+		SerialMs:     t.planSerialMs,
+		CoreBudget:   acct.CoreBudget,
+		Repartitions: acct.Repartitions,
+		Plans:        t.plans,
+	}
+	if sc.BudgetMs > 0 {
+		acct.BudgetMs.Set(sc.BudgetMs)
+	}
+	return t, nil
+}
+
+// observeReport is the pipeline.Engine per-frame hook: frame latency plus
+// every executed task's actual time.
+func (t *telemetry) observeReport(rep pipeline.Report) {
+	t.acct.FrameLatencyMs.Observe(rep.LatencyMs)
+	for _, e := range rep.Execs {
+		t.acct.ObserveTask(tasks.IndexOf(e.Task), e.Ms)
+	}
+}
+
+// TaskSample implements core.MetricsSink: one task's predicted-vs-actual
+// computation time.
+func (t *telemetry) TaskSample(task tasks.Name, predictedMs, actualMs float64) {
+	t.acct.ObservePrediction(tasks.IndexOf(task), predictedMs, actualMs)
+}
+
+// ScenarioSample implements core.MetricsSink: the Markov state table's
+// next-scenario forecast against the scenario that executed, plus the
+// bandwidth and cache-occupation model error the misprediction implies
+// (zero on a hit — the error histograms stay centered when the table is
+// accurate).
+func (t *telemetry) ScenarioSample(predicted, actual flowgraph.Scenario) {
+	t.acct.ObserveScenario(predicted == actual)
+	pi, ai := predicted.Index(), actual.Index()
+	t.acct.ObserveResourceErr(
+		metrics.RelErr(t.bwMBs[pi], t.bwMBs[ai]),
+		metrics.RelErr(t.cacheKB[pi], t.cacheKB[ai]),
+	)
+}
+
+// Serving-loop events, nil-safe so serveOne needs no telemetry branches.
+
+func (t *telemetry) serving() {
+	if t == nil {
+		return
+	}
+	t.state.Store(streamServing)
+}
+
+func (t *telemetry) finished(err error) {
+	if t == nil {
+		return
+	}
+	if err != nil {
+		t.errMsg.Store(err.Error())
+		t.state.Store(streamFailed)
+		return
+	}
+	t.state.Store(streamDone)
+}
+
+func (t *telemetry) offered(frame int) {
+	if t == nil {
+		return
+	}
+	t.acct.Offered.Inc()
+	t.acct.LastFrame.Set(float64(frame))
+}
+
+func (t *telemetry) skipped() {
+	if t == nil {
+		return
+	}
+	t.acct.Skipped.Inc()
+}
+
+func (t *telemetry) serialFallback() {
+	if t == nil {
+		return
+	}
+	t.acct.SerialFallbacks.Inc()
+}
+
+func (t *telemetry) processed(latencyMs float64, missed, acctErr bool) {
+	if t == nil {
+		return
+	}
+	t.acct.Processed.Inc()
+	t.acct.LastLatencyMs.Set(latencyMs)
+	if missed {
+		t.acct.DeadlineMisses.Inc()
+	}
+	if acctErr {
+		t.acct.AccountingErrs.Inc()
+	}
+}
+
+func (t *telemetry) demand(predictedMs float64) {
+	if t == nil {
+		return
+	}
+	t.acct.PredictedDemandMs.Set(predictedMs)
+}

@@ -1,0 +1,272 @@
+package stream
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"triplec/internal/metrics"
+)
+
+// TestTelemetryPopulatesDuringRun is the acceptance check for the live
+// telemetry layer: a real two-stream serving run must populate the
+// per-stream counters, the frame-latency histogram and the per-task
+// prediction-error histograms, and the registry must expose them all.
+func TestTelemetryPopulatesDuringRun(t *testing.T) {
+	s := testStudy()
+	reg := metrics.NewRegistry()
+	streams := []Config{
+		mkStream(t, s, "alpha", 3, 0),
+		mkStream(t, s, "beta", 4, 0),
+	}
+	srv, err := NewServer(ServerConfig{Metrics: reg}, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 30
+	out, err := srv.Run(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, tel := range srv.tels {
+		a := tel.acct
+		if got := a.Offered.Value(); got != frames {
+			t.Errorf("stream %d: offered %d, want %d", i, got, frames)
+		}
+		if a.Processed.Value() == 0 {
+			t.Errorf("stream %d: no frames processed", i)
+		}
+		if int(a.Processed.Value()) != out.Streams[i].Stats.Processed {
+			t.Errorf("stream %d: telemetry processed %d != stats %d",
+				i, a.Processed.Value(), out.Streams[i].Stats.Processed)
+		}
+		lat := a.FrameLatencyMs.Snapshot()
+		if int(lat.Count) != out.Streams[i].Stats.Processed {
+			t.Errorf("stream %d: latency histogram count %d != processed %d",
+				i, lat.Count, out.Streams[i].Stats.Processed)
+		}
+		if lat.Mean() <= 0 {
+			t.Errorf("stream %d: latency mean %v not positive", i, lat.Mean())
+		}
+		// The predictor scores every observed frame after the first, so the
+		// per-task prediction-error histograms must hold real samples.
+		relSamples := uint64(0)
+		for _, h := range a.TaskRelErr {
+			relSamples += h.Snapshot().Count
+		}
+		if relSamples == 0 {
+			t.Errorf("stream %d: per-task prediction-error histograms empty", i)
+		}
+		if a.PredictionAbsErrMs.Snapshot().Count == 0 {
+			t.Errorf("stream %d: absolute prediction-error histogram empty", i)
+		}
+		if a.ScenarioHits.Value()+a.ScenarioMisses.Value() == 0 {
+			t.Errorf("stream %d: no scenario predictions scored", i)
+		}
+		if a.BandwidthRelErr.Snapshot().Count == 0 {
+			t.Errorf("stream %d: bandwidth model error histogram empty", i)
+		}
+		if tel.state.Load() != streamDone {
+			t.Errorf("stream %d: state %d after clean run, want done", i, tel.state.Load())
+		}
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`triplec_frames_processed_total{stream="alpha"}`,
+		`triplec_frames_processed_total{stream="beta"}`,
+		`triplec_frame_latency_ms_bucket{stream="alpha",le="+Inf"}`,
+		`triplec_plans_total{stream="alpha"}`,
+		"triplec_rebalances_total",
+		`triplec_task_ms_count{stream="alpha",task="ZOOM"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestTelemetryDuplicateStreamNames: instruments are labeled by stream name,
+// so duplicate (or colliding defaulted) names must be rejected up front
+// rather than failing at scrape time.
+func TestTelemetryDuplicateStreamNames(t *testing.T) {
+	s := testStudy()
+	a := mkStream(t, s, "same", 3, 0)
+	b := mkStream(t, s, "same", 4, 0)
+	if _, err := NewServer(ServerConfig{Metrics: metrics.NewRegistry()}, []Config{a, b}); err == nil {
+		t.Fatal("duplicate stream names accepted with telemetry enabled")
+	}
+	// Without telemetry duplicate names stay legal.
+	if _, err := NewServer(ServerConfig{}, []Config{a, b}); err != nil {
+		t.Fatalf("duplicate names rejected without telemetry: %v", err)
+	}
+}
+
+// TestHealthHandler drives the /healthz endpoint after a run and checks the
+// JSON is well-formed, finite and consistent with the run's stats.
+func TestHealthHandler(t *testing.T) {
+	s := testStudy()
+	reg := metrics.NewRegistry()
+	srv, err := NewServer(ServerConfig{Metrics: reg}, []Config{mkStream(t, s, "h", 5, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := srv.Run(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	srv.HealthHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("healthz status %d, body %s", rec.Code, rec.Body.String())
+	}
+	var rep struct {
+		Status  string   `json:"status"`
+		Streams []Health `json:"streams"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("healthz JSON invalid: %v\n%s", err, rec.Body.String())
+	}
+	if rep.Status != "ok" || len(rep.Streams) != 1 {
+		t.Fatalf("healthz report %+v", rep)
+	}
+	h := rep.Streams[0]
+	if h.Stream != "h" || h.State != "done" {
+		t.Errorf("health identity %+v", h)
+	}
+	if int(h.Processed) != out.Streams[0].Stats.Processed {
+		t.Errorf("health processed %d != stats %d", h.Processed, out.Streams[0].Stats.Processed)
+	}
+	for name, v := range map[string]float64{
+		"miss_rate": h.MissRate, "scenario_hit_rate": h.ScenarioHitRate,
+		"budget_ms": h.BudgetMs, "mean_latency_ms": h.MeanLatencyMs,
+		"p95_latency_ms": h.P95LatencyMs, "core_budget": h.CoreBudget,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("health field %s not finite: %v", name, v)
+		}
+	}
+	if h.MeanLatencyMs <= 0 {
+		t.Errorf("mean latency %v not positive after a run", h.MeanLatencyMs)
+	}
+
+	// Without telemetry the handler answers 404, not a panic or empty 200.
+	bare, err := NewServer(ServerConfig{}, []Config{mkStream(t, s, "h", 5, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	bare.HealthHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 404 {
+		t.Errorf("healthz without telemetry: status %d, want 404", rec.Code)
+	}
+}
+
+// TestHealthzBeforeRun: the endpoint must be scrapeable before the first
+// frame (all-idle, zero-valued, finite) — the serve command starts the HTTP
+// listener before Run.
+func TestHealthzBeforeRun(t *testing.T) {
+	s := testStudy()
+	srv, err := NewServer(ServerConfig{Metrics: metrics.NewRegistry()},
+		[]Config{mkStream(t, s, "idle", 6, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := srv.Healths()
+	if len(hs) != 1 {
+		t.Fatalf("healths: %+v", hs)
+	}
+	if hs[0].State != "idle" || hs[0].Offered != 0 || hs[0].MeanLatencyMs != 0 {
+		t.Errorf("pre-run health %+v", hs[0])
+	}
+}
+
+// TestThroughputFPSZeroDuration pins the Stats.ThroughputFPS contract: a
+// zero-duration (or zero-work) run reports an explicit 0, never NaN or Inf.
+func TestThroughputFPSZeroDuration(t *testing.T) {
+	cases := []struct {
+		processed int
+		wall      time.Duration
+		want      float64
+	}{
+		{0, 0, 0},
+		{5, 0, 0},
+		{0, time.Second, 0},
+		{5, -time.Second, 0},
+		{10, 2 * time.Second, 5},
+	}
+	for _, c := range cases {
+		got := throughputFPS(c.processed, c.wall)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("throughputFPS(%d, %v) = %v, not finite", c.processed, c.wall, got)
+		}
+		if got != c.want {
+			t.Errorf("throughputFPS(%d, %v) = %v, want %v", c.processed, c.wall, got, c.want)
+		}
+	}
+}
+
+// TestNewServerRejectsNegativeConfig covers the tightened ServerConfig
+// validation: negative RebalanceEvery and negative/NaN SkipOver used to be
+// silently replaced by the defaults; now they are configuration errors.
+func TestNewServerRejectsNegativeConfig(t *testing.T) {
+	s := testStudy()
+	cfg := mkStream(t, s, "v", 7, 0)
+	if _, err := NewServer(ServerConfig{RebalanceEvery: -1}, []Config{cfg}); err == nil ||
+		!strings.Contains(err.Error(), "RebalanceEvery") {
+		t.Errorf("negative RebalanceEvery: err %v", err)
+	}
+	if _, err := NewServer(ServerConfig{SkipOver: -0.5}, []Config{cfg}); err == nil ||
+		!strings.Contains(err.Error(), "SkipOver") {
+		t.Errorf("negative SkipOver: err %v", err)
+	}
+	if _, err := NewServer(ServerConfig{SkipOver: math.NaN()}, []Config{cfg}); err == nil ||
+		!strings.Contains(err.Error(), "SkipOver") {
+		t.Errorf("NaN SkipOver: err %v", err)
+	}
+	// Zero still means "use the default".
+	if _, err := NewServer(ServerConfig{}, []Config{cfg}); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+}
+
+// TestTelemetryAllocBudget re-runs the steady-state allocation pin with the
+// full telemetry layer enabled: instrument recording must not add per-frame
+// heap traffic (same six-frame-equivalent budget as the bare serving loop).
+func TestTelemetryAllocBudget(t *testing.T) {
+	s := testStudy()
+	cfg := mkStream(t, s, "pin-telemetry", 17, 0)
+	srv, err := NewServer(ServerConfig{Metrics: metrics.NewRegistry()}, []Config{cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Run(10); err != nil { // warm pools and buffers
+		t.Fatal(err)
+	}
+
+	const frames = 40
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if _, err := srv.Run(frames); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+
+	perFrame := float64(after.TotalAlloc-before.TotalAlloc) / frames
+	budget := 6 * float64(s.FramePixels()*2)
+	t.Logf("telemetry steady state: %.0f bytes/frame (budget %.0f)", perFrame, budget)
+	if perFrame > budget {
+		t.Errorf("telemetry-enabled serving allocates %.0f bytes/frame, budget %.0f", perFrame, budget)
+	}
+}

@@ -652,3 +652,18 @@ func TestRunStripedDegenerate(t *testing.T) {
 		t.Fatal("k=0 must clamp and work")
 	}
 }
+
+func TestIndexOfMatchesAllNames(t *testing.T) {
+	names := AllNames()
+	if len(names) != NumNames {
+		t.Fatalf("NumNames = %d, but AllNames has %d entries", NumNames, len(names))
+	}
+	for i, n := range names {
+		if got := IndexOf(n); got != i {
+			t.Fatalf("IndexOf(%s) = %d, want %d", n, got, i)
+		}
+	}
+	if IndexOf("NOPE") != -1 {
+		t.Fatal("unknown task must index to -1")
+	}
+}

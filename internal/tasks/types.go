@@ -33,6 +33,39 @@ func AllNames() []Name {
 	}
 }
 
+// NumNames is the number of modeled tasks (len(AllNames())).
+const NumNames = 10
+
+// IndexOf returns the task's position in AllNames, or -1 for an unknown
+// name. The switch (instead of a map) keeps the lookup allocation- and
+// hash-free so per-frame telemetry can index dense instrument arrays with
+// it on the hot path.
+func IndexOf(n Name) int {
+	switch n {
+	case NameDetect:
+		return 0
+	case NameRDGFull:
+		return 1
+	case NameRDGROI:
+		return 2
+	case NameMKXExt:
+		return 3
+	case NameCPLSSel:
+		return 4
+	case NameREG:
+		return 5
+	case NameROIEst:
+		return 6
+	case NameGWExt:
+		return 7
+	case NameENH:
+		return 8
+	case NameZOOM:
+		return 9
+	}
+	return -1
+}
+
 // Marker is a candidate balloon marker: a punctual dark zone contrasting on
 // a brighter background.
 type Marker struct {

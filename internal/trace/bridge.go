@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"errors"
+	"math"
+
+	"triplec/internal/metrics"
+)
+
+// Recorder bridges the live telemetry layer into the trace tooling: each
+// Sample appends one aligned row per registered instrument to a Trace, so a
+// serving run's metrics can be exported as CSV or charted with the same
+// machinery as the per-frame traces. Counters and gauges become one column
+// each; histograms become a _count and a _sum column (enough to recover the
+// rate and the mean between any two samples).
+//
+// The first Sample fixes the column set. Later samples match instruments by
+// name, so instruments registered after the first Sample are ignored and an
+// instrument that yields no value records NaN (the Chart renderer skips
+// non-finite samples).
+type Recorder struct {
+	reg  *metrics.Registry
+	tr   *Trace
+	cols []string
+}
+
+// NewRecorder builds a recorder over reg with an empty trace.
+func NewRecorder(reg *metrics.Registry) (*Recorder, error) {
+	if reg == nil {
+		return nil, errors.New("trace: recorder needs a registry")
+	}
+	return &Recorder{reg: reg, tr: New()}, nil
+}
+
+// columnName flattens one instrument to a stable series name.
+func columnName(family string, m metrics.MetricSnapshot, suffix string) string {
+	name := family + suffix
+	if m.LabelStr != "" {
+		name += "{" + m.LabelStr + "}"
+	}
+	return name
+}
+
+// flatten renders the registry snapshot as name→value pairs in snapshot
+// order.
+func flatten(snap metrics.Snapshot) ([]string, map[string]float64) {
+	var names []string
+	values := make(map[string]float64)
+	add := func(name string, v float64) {
+		if _, dup := values[name]; dup {
+			return
+		}
+		names = append(names, name)
+		values[name] = v
+	}
+	for _, f := range snap.Families {
+		for _, m := range f.Metrics {
+			switch f.Kind {
+			case metrics.KindCounter, metrics.KindGauge:
+				add(columnName(f.Name, m, ""), m.Value)
+			case metrics.KindHistogram:
+				add(columnName(f.Name, m, "_count"), float64(m.Histogram.Count))
+				add(columnName(f.Name, m, "_sum"), m.Histogram.Sum)
+			}
+		}
+	}
+	return names, values
+}
+
+// Sample reads the registry and appends one row to the trace.
+func (r *Recorder) Sample() error {
+	names, values := flatten(r.reg.Snapshot())
+	if r.cols == nil {
+		r.cols = names
+		for _, n := range names {
+			if err := r.tr.AddEmpty(n); err != nil {
+				return err
+			}
+		}
+	}
+	row := make([]float64, len(r.cols))
+	for i, n := range r.cols {
+		if v, ok := values[n]; ok {
+			row[i] = v
+		} else {
+			row[i] = math.NaN()
+		}
+	}
+	return r.tr.Append(row...)
+}
+
+// Trace returns the recorded trace (one row per Sample). The trace is live:
+// further Samples keep appending to it.
+func (r *Recorder) Trace() *Trace {
+	return r.tr
+}

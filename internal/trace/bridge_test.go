@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"triplec/internal/metrics"
+)
+
+func TestCSVRoundTripNonFinite(t *testing.T) {
+	tr := New()
+	if err := tr.Add("v", []float64{1, math.NaN(), math.Inf(1), math.Inf(-1), -2.5}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("round-trip with NaN/Inf failed: %v", err)
+	}
+	got, err := back.Get("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, math.NaN(), math.Inf(1), math.Inf(-1), -2.5}
+	if len(got) != len(want) {
+		t.Fatalf("got %d values, want %d", len(got), len(want))
+	}
+	for i := range want {
+		switch {
+		case math.IsNaN(want[i]):
+			if !math.IsNaN(got[i]) {
+				t.Errorf("value %d: got %v, want NaN", i, got[i])
+			}
+		case got[i] != want[i]:
+			t.Errorf("value %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestChartSkipsNonFinite(t *testing.T) {
+	tr := New()
+	// One NaN and one +Inf embedded in an otherwise 0..4 ramp: the scale
+	// must come from the finite samples only.
+	if err := tr.Add("v", []float64{0, math.NaN(), 2, math.Inf(1), 4}); err != nil {
+		t.Fatal(err)
+	}
+	chart, err := tr.Chart(10, 5, "v")
+	if err != nil {
+		t.Fatalf("chart with non-finite samples: %v", err)
+	}
+	if !strings.HasPrefix(chart, "4.00\n") {
+		t.Errorf("max label not taken from finite samples:\n%s", chart)
+	}
+	if !strings.Contains(chart, "\n0.00") {
+		t.Errorf("min label not taken from finite samples:\n%s", chart)
+	}
+}
+
+func TestChartAllNonFinite(t *testing.T) {
+	tr := New()
+	if err := tr.Add("v", []float64{math.NaN(), math.Inf(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Chart(10, 5, "v"); err == nil {
+		t.Fatal("chart of all-non-finite series succeeded")
+	}
+}
+
+// TestRecorderAlignedSeries drives the metrics→trace bridge: successive
+// Samples must land as aligned rows, histograms must expand to _count/_sum
+// columns, and instruments registered after the first Sample must not skew
+// the existing columns.
+func TestRecorderAlignedSeries(t *testing.T) {
+	reg := metrics.NewRegistry()
+	frames, err := reg.NewCounter("frames_total", "processed frames", metrics.L("stream", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := reg.NewHistogram("latency_ms", "frame latency",
+		metrics.DefaultLatencyBucketsMs(), metrics.L("stream", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := NewRecorder(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Sample(); err != nil { // row 0: all zero
+		t.Fatal(err)
+	}
+	frames.Inc()
+	lat.Observe(4)
+	lat.Observe(6)
+	if err := rec.Sample(); err != nil { // row 1
+		t.Fatal(err)
+	}
+
+	// A late registration must not disturb the fixed columns.
+	late, err := reg.NewCounter("late_total", "registered after first sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	late.Inc()
+	frames.Inc()
+	if err := rec.Sample(); err != nil { // row 2
+		t.Fatal(err)
+	}
+
+	tr := rec.Trace()
+	if tr.Len() != 3 {
+		t.Fatalf("trace has %d rows, want 3", tr.Len())
+	}
+	check := func(col string, want []float64) {
+		t.Helper()
+		got, err := tr.Get(col)
+		if err != nil {
+			t.Fatalf("column %q: %v (have %v)", col, err, tr.Names())
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("column %q row %d: got %v, want %v", col, i, got[i], want[i])
+			}
+		}
+	}
+	check(`frames_total{stream="a"}`, []float64{0, 1, 2})
+	check(`latency_ms_count{stream="a"}`, []float64{0, 2, 2})
+	check(`latency_ms_sum{stream="a"}`, []float64{0, 10, 10})
+	for _, n := range tr.Names() {
+		if strings.Contains(n, "late_total") {
+			t.Errorf("late registration leaked into columns: %v", tr.Names())
+		}
+	}
+
+	// The bridged trace must survive the CSV round trip.
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCSV(&buf); err != nil {
+		t.Fatalf("bridged trace CSV round trip: %v", err)
+	}
+}

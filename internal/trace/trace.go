@@ -215,6 +215,9 @@ func (t *Trace) Chart(width, height int, names ...string) (string, error) {
 	}
 	glyphs := []byte{'*', '+', 'o', 'x', '#'}
 	var cols []Series
+	// The range scan and the plot below ignore NaN/±Inf samples (series fed
+	// from live metrics may contain gaps) instead of letting one poison the
+	// whole scale.
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, n := range names {
 		i, ok := t.index[n]
@@ -226,8 +229,16 @@ func (t *Trace) Chart(width, height int, names ...string) (string, error) {
 			return "", fmt.Errorf("trace: series %q empty", n)
 		}
 		cols = append(cols, c)
-		lo = math.Min(lo, stats.Min(c.Values))
-		hi = math.Max(hi, stats.Max(c.Values))
+		for _, v := range c.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if lo > hi {
+		return "", fmt.Errorf("trace: series %s hold no finite values to chart", strings.Join(names, ", "))
 	}
 	if hi == lo {
 		hi = lo + 1
@@ -245,6 +256,9 @@ func (t *Trace) Chart(width, height int, names ...string) (string, error) {
 				idx = 0
 			}
 			v := c.Values[idx]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue // leave a gap where the sample is not finite
+			}
 			row := int((hi - v) / (hi - lo) * float64(height-1))
 			grid[row][x] = g
 		}
