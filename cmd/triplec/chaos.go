@@ -1,0 +1,203 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+
+	"triplec/internal/core"
+	"triplec/internal/experiments"
+	"triplec/internal/fault"
+	"triplec/internal/metrics"
+	"triplec/internal/pipeline"
+	"triplec/internal/sched"
+	"triplec/internal/stream"
+	"triplec/internal/tasks"
+)
+
+// runChaos implements the `triplec chaos` subcommand: the multi-stream
+// serving stack runs under a deterministic fault plan (seeded task panics,
+// stuck-task hangs, latency spikes and frame corruption on the first
+// -faulted streams) with supervision, watchdogs and graceful degradation
+// enabled, then reports per-stream survival statistics. The command exits
+// non-zero if the process fails to contain the faults: an unrecovered
+// panic aborts the process outright, a broken frame-accounting invariant,
+// an impacted healthy stream, or a healthy-stream deadline-miss rate above
+// -max-miss-rate all turn into errors.
+func runChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	streams := fs.Int("streams", 4, "number of concurrent streams")
+	faulted := fs.Int("faulted", 2, "how many of the streams receive injected faults")
+	frames := fs.Int("frames", 500, "frames to serve per stream")
+	seed := fs.Uint64("seed", 2026, "fault-plan and synthetic-sequence seed")
+	train := fs.Int("train", 4, "training sequences")
+	cores := fs.Int("cores", 0, "modeled machine cores to arbitrate (0 = platform default)")
+	workers := fs.Int("workers", 0, "host worker-pool size (0 = streams+2)")
+	panicProb := fs.Float64("panic-prob", 0.05, "per-task-invocation panic probability on faulted streams")
+	hangProb := fs.Float64("hang-prob", 0.02, "per-task-invocation stuck-task probability on faulted streams")
+	spikeProb := fs.Float64("spike-prob", 0, "per-task-invocation latency-spike probability on faulted streams")
+	corruptProb := fs.Float64("corrupt-prob", 0.01, "per-frame pixel-corruption probability on faulted streams")
+	hangMs := fs.Float64("hang-ms", 800, "stuck-task duration in ms (past -stall-ms it poisons the engine)")
+	spikeMs := fs.Float64("spike-ms", 25, "latency-spike duration in ms")
+	watchdogMs := fs.Float64("watchdog-ms", 250, "per-frame wall-clock deadline before a frame is abandoned")
+	stallMs := fs.Float64("stall-ms", 400, "wall-clock limit before an unfinished frame poisons the engine")
+	maxRestarts := fs.Int("max-restarts", 3, "consecutive no-progress crashes before quarantine")
+	restartBudget := fs.Int("restart-budget", 4, "total restarts per stream before quarantine")
+	maxMissRate := fs.Float64("max-miss-rate", 1, "fail if a healthy stream's deadline-miss rate exceeds this")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *streams < 1 {
+		return fmt.Errorf("chaos: need at least one stream, got %d", *streams)
+	}
+	if *faulted < 0 || *faulted > *streams {
+		return fmt.Errorf("chaos: -faulted %d outside [0, %d]", *faulted, *streams)
+	}
+
+	inj, err := fault.New(fault.Config{
+		Seed:        *seed,
+		Defaults:    fault.Probs{Panic: *panicProb, Hang: *hangProb, Spike: *spikeProb},
+		CorruptProb: *corruptProb,
+		HangMs:      *hangMs,
+		SpikeMs:     *spikeMs,
+	})
+	if err != nil {
+		return err
+	}
+
+	study := experiments.DefaultStudy()
+	study.TrainSeqs = *train
+	study.TrainFrames = 60
+
+	fmt.Printf("training Triple-C on %d sequences x %d frames...\n", study.TrainSeqs, study.TrainFrames)
+	// One stream's engine+manager pair around a stream-private predictor
+	// (predictors are stateful and single-goroutine, like managers); the
+	// supervisor calls the closure again after a stall, re-wiring the
+	// injector hook exactly like the first build.
+	build := func(p *core.Predictor, hook func(task tasks.Name, frameIdx int)) (*pipeline.Engine, *sched.Manager, error) {
+		eng, err := study.Engine()
+		if err != nil {
+			return nil, nil, err
+		}
+		mgr, err := sched.NewManager(p, study.Arch)
+		if err != nil {
+			return nil, nil, err
+		}
+		mgr.Sticky = true
+		if hook != nil {
+			eng.SetTaskHook(hook)
+		}
+		return eng, mgr, nil
+	}
+
+	cfgs := make([]stream.Config, *streams)
+	for i := range cfgs {
+		var hook func(tasks.Name, int)
+		if i < *faulted {
+			hook = inj.ForStream(i).BeforeTask
+		}
+		p, err := study.TrainPredictor()
+		if err != nil {
+			return err
+		}
+		eng, mgr, err := build(p, hook)
+		if err != nil {
+			return err
+		}
+		seq, err := study.Sequence(*seed + uint64(i)*1013)
+		if err != nil {
+			return err
+		}
+		src := experiments.Source(seq)
+		name := fmt.Sprintf("healthy%d", i-*faulted)
+		if i < *faulted {
+			src = inj.ForStream(i).WrapSource(src)
+			name = fmt.Sprintf("faulted%d", i)
+		}
+		cfgs[i] = stream.Config{
+			Name:        name,
+			Engine:      eng,
+			Manager:     mgr,
+			Source:      src,
+			FramePixels: study.FramePixels(),
+			Rebuild: func() (*pipeline.Engine, *sched.Manager, error) {
+				return build(p, hook)
+			},
+		}
+	}
+
+	hostWorkers := *workers
+	if hostWorkers == 0 {
+		hostWorkers = *streams + 2 // stalled frames hold a worker; keep slack
+	}
+	reg := metrics.NewRegistry()
+	srv, err := stream.NewServer(stream.ServerConfig{
+		ModelCores:    *cores,
+		HostWorkers:   hostWorkers,
+		Supervise:     true,
+		WatchdogMs:    *watchdogMs,
+		StallMs:       *stallMs,
+		MaxRestarts:   *maxRestarts,
+		RestartBudget: *restartBudget,
+		Degrade:       true,
+		Metrics:       reg,
+	}, cfgs)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("chaos: %d streams (%d faulted) x %d frames on %d host cores, plan panic=%.0f%% hang=%.0f%% spike=%.0f%% corrupt=%.0f%%\n",
+		*streams, *faulted, *frames, runtime.GOMAXPROCS(0),
+		100**panicProb, 100**hangProb, 100**spikeProb, 100**corruptProb)
+	res, runErr := srv.Run(*frames)
+	if len(res.Streams) == 0 {
+		return runErr
+	}
+
+	counts := inj.Counts()
+	fmt.Printf("\ninjected faults: %v\n\n", counts)
+	fmt.Printf("%-10s %9s %7s %7s %9s %7s %8s %11s %6s %11s %s\n",
+		"stream", "processed", "skipped", "failed", "abandoned", "misses", "restarts", "recover(ms)", "qual", "missrate", "state")
+	var failures []string
+	for i, s := range res.Streams {
+		st := s.Stats
+		state := "ok"
+		if st.Quarantined {
+			state = "quarantined"
+		} else if s.Err != nil {
+			state = "error"
+		}
+		fmt.Printf("%-10s %9d %7d %7d %9d %7d %8d %11.1f %6d %11.3f %s\n",
+			st.Name, st.Processed, st.Skipped, st.Failed, st.Abandoned, st.DeadlineMisses,
+			st.Restarts, st.MeanRecoveryMs, int(st.FinalQuality), st.MissRate(), state)
+
+		if got := st.Processed + st.Skipped + st.Failed + st.Abandoned; got != st.Offered {
+			failures = append(failures, fmt.Sprintf(
+				"%s: frame accounting broken: %d+%d+%d+%d != %d offered",
+				st.Name, st.Processed, st.Skipped, st.Failed, st.Abandoned, st.Offered))
+		}
+		if i >= *faulted { // a healthy stream must ride out the chaos untouched
+			if st.Quarantined || s.Err != nil {
+				failures = append(failures, fmt.Sprintf("healthy stream %s impacted: err=%v", st.Name, s.Err))
+			}
+			if rate := st.MissRate(); rate > *maxMissRate {
+				failures = append(failures, fmt.Sprintf(
+					"healthy stream %s miss rate %.3f exceeds bound %.3f", st.Name, rate, *maxMissRate))
+			}
+		}
+	}
+	fmt.Printf("\naggregate: %.1f frames/s over %.0f ms wall clock, %d rebalances, final core split %v\n",
+		res.AggregateFPS, res.WallMs, res.Rebalances, res.FinalBudgets)
+
+	if runErr != nil {
+		fmt.Printf("run result: %v\n", runErr)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Println("FAIL:", f)
+		}
+		return fmt.Errorf("chaos: %d containment check(s) failed", len(failures))
+	}
+	fmt.Println("chaos run contained: no unrecovered panics, healthy streams within SLO")
+	return nil
+}

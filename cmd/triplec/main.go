@@ -9,6 +9,8 @@
 //	triplec [-frames n] [-seed s] [-train n] [-quiet]
 //	triplec serve [-streams n] [-frames n] [-cores n] [-csv out.csv]
 //	  [-metrics-addr host:port] [-linger d] [-metrics-csv out.csv]
+//	triplec chaos [-streams n] [-faulted n] [-frames n] [-seed s]
+//	  [-panic-prob p] [-hang-prob p] [-max-miss-rate r]
 //
 // The serve subcommand runs the concurrent multi-stream serving layer: N
 // independent streams share the modeled machine under the global core
@@ -18,6 +20,14 @@
 // net/http/pprof handlers under /debug/pprof/; -linger keeps the endpoints
 // up after the run and -metrics-csv samples every instrument into a
 // trace CSV.
+//
+// The chaos subcommand runs the same serving stack under a deterministic
+// fault plan (see internal/fault): seeded task panics, stuck-task hangs,
+// latency spikes and frame corruption hit the first -faulted streams while
+// supervision, per-frame watchdogs and graceful degradation contain the
+// damage. It prints per-stream survival statistics (frames served, failed
+// and abandoned, deadline-miss rate, restarts, mean time to recover) and
+// exits non-zero if a fault escaped containment.
 package main
 
 import (
@@ -37,6 +47,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		if err := runServe(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "triplec serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "chaos" {
+		if err := runChaos(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "triplec chaos:", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,237 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"triplec/internal/tasks"
+)
+
+// BreakerState is one task's circuit state.
+type BreakerState int
+
+// The classic three breaker states.
+const (
+	// BreakerClosed: the task runs normally; outcomes feed the window.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the task is suppressed; after OpenFrames refusals the
+	// circuit moves to half-open.
+	BreakerOpen
+	// BreakerHalfOpen: exactly one probe execution is admitted; its outcome
+	// closes the circuit again or re-opens it.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes the per-task circuit breaker. Timing is counted in
+// frames (Allow calls), not wall clock, so breaker behaviour is
+// deterministic under test and independent of host speed.
+type BreakerConfig struct {
+	// Window is the rolling per-task outcome window (default 16).
+	Window int
+	// MinSamples is how many outcomes the window needs before the failure
+	// rate can trip the circuit (default 4).
+	MinSamples int
+	// TripRate is the failure fraction within the window that opens the
+	// circuit (default 0.5).
+	TripRate float64
+	// OpenFrames is how many Allow refusals an open circuit serves before
+	// admitting a half-open probe (default 16).
+	OpenFrames int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window == 0 {
+		c.Window = 16
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 4
+	}
+	if c.TripRate == 0 {
+		c.TripRate = 0.5
+	}
+	if c.OpenFrames == 0 {
+		c.OpenFrames = 16
+	}
+	return c
+}
+
+func (c BreakerConfig) validate() error {
+	if c.Window < 0 || c.MinSamples < 0 || c.OpenFrames < 0 {
+		return fmt.Errorf("fault: breaker window/minSamples/openFrames must be non-negative, got %d/%d/%d",
+			c.Window, c.MinSamples, c.OpenFrames)
+	}
+	if math.IsNaN(c.TripRate) || c.TripRate < 0 || c.TripRate > 1 {
+		return fmt.Errorf("fault: breaker trip rate %v outside [0, 1]", c.TripRate)
+	}
+	return nil
+}
+
+// circuit is one task's breaker state.
+type circuit struct {
+	state    BreakerState
+	window   []bool // ring of recent outcomes (true = ok)
+	next     int    // ring write position
+	filled   int    // samples in the ring
+	cooldown int    // remaining Allow refusals while open
+	probing  bool   // half-open probe currently admitted
+}
+
+func (c *circuit) record(ok bool) {
+	if c.filled < len(c.window) {
+		c.filled++
+	}
+	c.window[c.next] = ok
+	c.next = (c.next + 1) % len(c.window)
+}
+
+func (c *circuit) failRate() (rate float64, samples int) {
+	fails := 0
+	for i := 0; i < c.filled; i++ {
+		if !c.window[i] {
+			fails++
+		}
+	}
+	if c.filled == 0 {
+		return 0, 0
+	}
+	return float64(fails) / float64(c.filled), c.filled
+}
+
+func (c *circuit) reset() {
+	c.filled, c.next = 0, 0
+	c.probing = false
+}
+
+// Breaker tracks per-task failure rates and suppresses tasks whose circuit
+// is open, probing half-open after a frame-counted cool-down. It implements
+// the pipeline's TaskGate hook and is safe for concurrent use (a stalled
+// frame's late goroutine may record against a restarted stream's breaker).
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu    sync.Mutex
+	tasks map[tasks.Name]*circuit
+	trips uint64
+}
+
+// NewBreaker builds a breaker (zero-value config = defaults).
+func NewBreaker(cfg BreakerConfig) (*Breaker, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Breaker{cfg: cfg.withDefaults(), tasks: map[tasks.Name]*circuit{}}, nil
+}
+
+func (b *Breaker) circuitFor(task tasks.Name) *circuit {
+	c, ok := b.tasks[task]
+	if !ok {
+		c = &circuit{window: make([]bool, b.cfg.Window)}
+		b.tasks[task] = c
+	}
+	return c
+}
+
+// Allow reports whether the task may execute now. An open circuit refuses
+// and counts down toward half-open; a half-open circuit admits exactly one
+// probe until its outcome is recorded.
+func (b *Breaker) Allow(task tasks.Name) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.circuitFor(task)
+	switch c.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		c.cooldown--
+		if c.cooldown <= 0 {
+			c.state = BreakerHalfOpen
+			c.probing = true
+			return true
+		}
+		return false
+	case BreakerHalfOpen:
+		if !c.probing {
+			c.probing = true
+			return true
+		}
+		return false
+	}
+	return true
+}
+
+// Record feeds one execution outcome back. In the closed state a window
+// failure rate at or above TripRate (with MinSamples seen) opens the
+// circuit; in the half-open state a successful probe closes it and a failed
+// probe re-opens it for another full cool-down.
+func (b *Breaker) Record(task tasks.Name, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.circuitFor(task)
+	switch c.state {
+	case BreakerClosed:
+		c.record(ok)
+		if rate, n := c.failRate(); n >= b.cfg.MinSamples && rate >= b.cfg.TripRate {
+			c.state = BreakerOpen
+			c.cooldown = b.cfg.OpenFrames
+			c.reset()
+			b.trips++
+		}
+	case BreakerHalfOpen:
+		if ok {
+			c.state = BreakerClosed
+			c.reset()
+		} else {
+			c.state = BreakerOpen
+			c.cooldown = b.cfg.OpenFrames
+			c.probing = false
+			b.trips++
+		}
+	case BreakerOpen:
+		// A late outcome from a frame started before the trip: ignore.
+	}
+}
+
+// State returns the task's current circuit state.
+func (b *Breaker) State(task tasks.Name) BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if c, ok := b.tasks[task]; ok {
+		return c.state
+	}
+	return BreakerClosed
+}
+
+// Trips returns how many times any circuit opened.
+func (b *Breaker) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// OpenTasks lists the tasks whose circuit is not closed, sorted by name.
+func (b *Breaker) OpenTasks() []tasks.Name {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []tasks.Name
+	for task, c := range b.tasks {
+		if c.state != BreakerClosed {
+			out = append(out, task)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

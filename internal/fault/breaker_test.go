@@ -1,0 +1,134 @@
+package fault
+
+import (
+	"testing"
+
+	"triplec/internal/tasks"
+)
+
+func mustBreaker(t *testing.T, cfg BreakerConfig) *Breaker {
+	t.Helper()
+	b, err := NewBreaker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBreakerConfigValidation(t *testing.T) {
+	bad := []BreakerConfig{
+		{Window: -1},
+		{MinSamples: -2},
+		{OpenFrames: -3},
+		{TripRate: 1.5},
+		{TripRate: -0.2},
+	}
+	for i, cfg := range bad {
+		if _, err := NewBreaker(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestBreakerTripsOnFailureRate(t *testing.T) {
+	b := mustBreaker(t, BreakerConfig{Window: 8, MinSamples: 4, TripRate: 0.5, OpenFrames: 3})
+	task := tasks.NameRDGFull
+	// Three failures among four samples: trips at the fourth record.
+	b.Record(task, true)
+	for i := 0; i < 3; i++ {
+		if got := b.State(task); got != BreakerClosed && i < 2 {
+			t.Fatalf("tripped early at %d: %v", i, got)
+		}
+		b.Record(task, false)
+	}
+	if got := b.State(task); got != BreakerOpen {
+		t.Fatalf("state %v after 3/4 failures, want open", got)
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips %d, want 1", b.Trips())
+	}
+	// Open: refuses for OpenFrames-1 calls, then admits the half-open probe.
+	if b.Allow(task) || b.Allow(task) {
+		t.Fatal("open circuit admitted execution during cool-down")
+	}
+	if !b.Allow(task) {
+		t.Fatal("cool-down elapsed but no half-open probe admitted")
+	}
+	if got := b.State(task); got != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", got)
+	}
+	// Only one probe in flight.
+	if b.Allow(task) {
+		t.Fatal("second concurrent probe admitted")
+	}
+	// Successful probe closes the circuit.
+	b.Record(task, true)
+	if got := b.State(task); got != BreakerClosed {
+		t.Fatalf("state %v after good probe, want closed", got)
+	}
+	if !b.Allow(task) {
+		t.Fatal("closed circuit refused execution")
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b := mustBreaker(t, BreakerConfig{Window: 4, MinSamples: 2, TripRate: 0.5, OpenFrames: 2})
+	task := tasks.NameZOOM
+	b.Record(task, false)
+	b.Record(task, false)
+	if b.State(task) != BreakerOpen {
+		t.Fatal("did not trip")
+	}
+	b.Allow(task) // cool-down 1
+	if !b.Allow(task) {
+		t.Fatal("no probe after cool-down")
+	}
+	b.Record(task, false) // probe fails
+	if b.State(task) != BreakerOpen {
+		t.Fatal("failed probe did not reopen")
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("trips %d, want 2", b.Trips())
+	}
+}
+
+func TestBreakerIsolatesTasks(t *testing.T) {
+	b := mustBreaker(t, BreakerConfig{Window: 4, MinSamples: 2, TripRate: 0.5, OpenFrames: 4})
+	b.Record(tasks.NameGWExt, false)
+	b.Record(tasks.NameGWExt, false)
+	if b.State(tasks.NameGWExt) != BreakerOpen {
+		t.Fatal("GW_EXT did not trip")
+	}
+	if !b.Allow(tasks.NameZOOM) || b.State(tasks.NameZOOM) != BreakerClosed {
+		t.Fatal("healthy task affected by another task's circuit")
+	}
+	open := b.OpenTasks()
+	if len(open) != 1 || open[0] != tasks.NameGWExt {
+		t.Fatalf("open tasks %v, want [GW_EXT]", open)
+	}
+}
+
+func TestBreakerRecoversAfterIntermittentFault(t *testing.T) {
+	// A fault that clears: circuit opens, probe succeeds, stays closed under
+	// sustained success.
+	b := mustBreaker(t, BreakerConfig{Window: 4, MinSamples: 2, TripRate: 1, OpenFrames: 1})
+	task := tasks.NameRDGROI
+	b.Record(task, false)
+	b.Record(task, false)
+	if b.State(task) != BreakerOpen {
+		t.Fatal("did not trip at 100% failure")
+	}
+	if !b.Allow(task) { // cooldown 1 -> immediate half-open probe
+		t.Fatal("no probe admitted")
+	}
+	b.Record(task, true)
+	for i := 0; i < 50; i++ {
+		if !b.Allow(task) {
+			t.Fatalf("closed circuit refused at %d", i)
+		}
+		b.Record(task, true)
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("spurious re-trips: %d", b.Trips())
+	}
+}

@@ -10,10 +10,60 @@ package parallel
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError wraps a panic recovered from a parallel job so callers receive
+// it as an ordinary error (Pool.Do) or as a re-panic on their own goroutine
+// (ForStripes, Map) instead of the process crashing on a worker goroutine.
+type PanicError struct {
+	Value any    // the value originally passed to panic
+	Stack []byte // stack of the panicking goroutine
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: job panicked: %v", e.Value)
+}
+
+// asPanicError wraps a recovered value, reusing an already-wrapped panic so
+// nested recovery layers (stripe goroutine -> pool worker -> Do caller) do
+// not stack PanicErrors inside each other.
+func asPanicError(r any) *PanicError {
+	if pe, ok := r.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Value: r, Stack: debug.Stack()}
+}
+
+// panicBox collects the first panic from a group of goroutines.
+type panicBox struct {
+	mu  sync.Mutex
+	err *PanicError
+}
+
+// capture records the recovered value r if it is the first panic seen.
+func (b *panicBox) capture(r any) {
+	if r == nil {
+		return
+	}
+	pe := asPanicError(r)
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = pe
+	}
+	b.mu.Unlock()
+}
+
+// rethrow re-panics the first captured panic on the calling goroutine.
+func (b *panicBox) rethrow() {
+	if b.err != nil {
+		panic(b.err)
+	}
+}
 
 // ForStripes splits the half-open index range [0, n) into k contiguous
 // stripes and runs fn(stripe, lo, hi) concurrently, one goroutine per
@@ -33,6 +83,7 @@ func ForStripes(n, k int, fn func(stripe, lo, hi int)) {
 		fn(0, 0, n)
 		return
 	}
+	var box panicBox
 	var wg sync.WaitGroup
 	wg.Add(k)
 	for s := 0; s < k; s++ {
@@ -40,10 +91,15 @@ func ForStripes(n, k int, fn func(stripe, lo, hi int)) {
 		hi := (s + 1) * n / k
 		go func(stripe, lo, hi int) {
 			defer wg.Done()
+			defer func() { box.capture(recover()) }()
 			fn(stripe, lo, hi)
 		}(s, lo, hi)
 	}
 	wg.Wait()
+	// A stripe panic surfaces on the caller (as a *PanicError) after every
+	// stripe has finished, so a recover() around ForStripes observes a
+	// consistent, fully-joined state instead of a crashed worker goroutine.
+	box.rethrow()
 }
 
 // Map applies fn to every index of [0, n) using up to k workers pulling
@@ -69,11 +125,13 @@ func Map(n, k int, fn func(i int)) {
 	// increment, so the shared queue adds no mutex contention even when
 	// several streams drive pools on the same host.
 	var next atomic.Int64
+	var box panicBox
 	var wg sync.WaitGroup
 	wg.Add(k)
 	for w := 0; w < k; w++ {
 		go func() {
 			defer wg.Done()
+			defer func() { box.capture(recover()) }()
 			for {
 				i := next.Add(1) - 1
 				if i >= int64(n) {
@@ -84,6 +142,7 @@ func Map(n, k int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	box.rethrow()
 }
 
 // Pool is a reusable fixed-size worker pool. Submissions run on the pool's
@@ -93,6 +152,7 @@ type Pool struct {
 	jobs    chan func()
 	wg      sync.WaitGroup // tracks in-flight jobs
 	workers sync.WaitGroup // tracks worker goroutines
+	panics  atomic.Uint64  // jobs that panicked (recovered by the worker)
 	closed  bool
 	mu      sync.Mutex
 }
@@ -108,13 +168,30 @@ func NewPool(k int) *Pool {
 		go func() {
 			defer p.workers.Done()
 			for job := range p.jobs {
-				job()
+				p.runJob(job)
 				p.wg.Done()
 			}
 		}()
 	}
 	return p
 }
+
+// runJob executes one job, recovering a panic so the worker goroutine (and
+// with it the whole process) survives and the in-flight accounting that
+// Wait, Do and Close depend on still completes. Do-submitted jobs install
+// their own recover first and hand the panic back to the Do caller; this
+// outer recover is the safety net for fire-and-forget Submit jobs.
+func (p *Pool) runJob(job func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics.Add(1)
+		}
+	}()
+	job()
+}
+
+// Panics returns how many jobs panicked inside the pool so far.
+func (p *Pool) Panics() uint64 { return p.panics.Load() }
 
 // Submit queues one job. It returns an error after Close.
 func (p *Pool) Submit(job func()) error {
@@ -138,18 +215,30 @@ func (p *Pool) Wait() { p.wg.Wait() }
 // independent goroutines thereby share the pool's fixed concurrency: with k
 // workers at most k Do bodies execute at once, which is how the stream
 // serving layer keeps N streams from oversubscribing the host's cores.
+//
+// A panic inside job does not crash the process or wedge the pool: Do
+// recovers it on the worker and returns it to the caller as a *PanicError.
 func (p *Pool) Do(job func()) error {
 	if job == nil {
 		return errors.New("parallel: nil job")
 	}
 	done := make(chan struct{})
+	var pe *PanicError
 	if err := p.Submit(func() {
 		defer close(done)
+		defer func() {
+			if r := recover(); r != nil {
+				pe = asPanicError(r)
+			}
+		}()
 		job()
 	}); err != nil {
 		return err
 	}
 	<-done
+	if pe != nil {
+		return pe
+	}
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -253,4 +254,133 @@ func TestPoolDoErrors(t *testing.T) {
 	if err := p.Do(func() {}); err == nil {
 		t.Fatal("Do after close accepted")
 	}
+}
+
+// Regression: a panic inside a pooled job used to take down the worker
+// goroutine (and with it the whole process); now Do returns the panic as a
+// *PanicError and the pool stays fully usable — no deadlocked Do callers, no
+// wedged Wait or Close.
+func TestPoolDoSurvivesPanic(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	err := p.Do(func() { panic("boom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Do returned %v, want *PanicError", err)
+	}
+	if pe.Value != "boom" {
+		t.Fatalf("panic value %v, want boom", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic stack not captured")
+	}
+	// The pool must still run jobs on all workers afterwards.
+	var n int64
+	for i := 0; i < 20; i++ {
+		if err := p.Do(func() { atomic.AddInt64(&n, 1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n != 20 {
+		t.Fatalf("jobs after panic = %d, want 20", n)
+	}
+	if p.Panics() != 0 {
+		// Do recovers before the worker's safety net, so the pool-level
+		// counter only counts fire-and-forget Submit panics.
+		t.Fatalf("Do panic leaked to the pool counter: %d", p.Panics())
+	}
+}
+
+// Concurrent Do callers must all get their results back even when some jobs
+// panic (the original bug: one panic stranded every waiting caller).
+func TestPoolDoConcurrentPanics(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var wg sync.WaitGroup
+	var panics, oks int64
+	for c := 0; c < 24; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := p.Do(func() {
+				if c%3 == 0 {
+					panic(c)
+				}
+			})
+			var pe *PanicError
+			switch {
+			case errors.As(err, &pe):
+				atomic.AddInt64(&panics, 1)
+			case err == nil:
+				atomic.AddInt64(&oks, 1)
+			default:
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if panics != 8 || oks != 16 {
+		t.Fatalf("panics=%d oks=%d, want 8/16", panics, oks)
+	}
+}
+
+// A fire-and-forget Submit job that panics must not kill the worker: Wait
+// still returns, the panic counter records it, and Close drains cleanly.
+func TestPoolSubmitPanicRecovered(t *testing.T) {
+	p := NewPool(1)
+	if err := p.Submit(func() { panic("fire-and-forget") }); err != nil {
+		t.Fatal(err)
+	}
+	p.Wait()
+	if got := p.Panics(); got != 1 {
+		t.Fatalf("pool panic counter = %d, want 1", got)
+	}
+	var ran bool
+	if err := p.Do(func() { ran = true }); err != nil || !ran {
+		t.Fatalf("pool unusable after Submit panic: err=%v ran=%v", err, ran)
+	}
+	p.Close()
+}
+
+// A panic in a stripe goroutine must surface on the calling goroutine as a
+// *PanicError re-panic after all stripes joined, not crash the process.
+func TestForStripesRethrowsPanic(t *testing.T) {
+	var visited int32
+	defer func() {
+		r := recover()
+		pe, ok := r.(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %v, want *PanicError", r)
+		}
+		if pe.Value != "stripe down" {
+			t.Fatalf("panic value %v", pe.Value)
+		}
+		// Every other stripe still completed before the rethrow.
+		if got := atomic.LoadInt32(&visited); got != 3 {
+			t.Fatalf("%d healthy stripes ran, want 3", got)
+		}
+	}()
+	ForStripes(4, 4, func(stripe, lo, hi int) {
+		if stripe == 1 {
+			panic("stripe down")
+		}
+		atomic.AddInt32(&visited, 1)
+	})
+	t.Fatal("ForStripes did not re-panic")
+}
+
+// Same contract for Map's shared-queue workers.
+func TestMapRethrowsPanic(t *testing.T) {
+	defer func() {
+		if _, ok := recover().(*PanicError); !ok {
+			t.Fatal("Map did not re-panic as *PanicError")
+		}
+	}()
+	Map(100, 4, func(i int) {
+		if i == 50 {
+			panic(i)
+		}
+	})
+	t.Fatal("Map did not re-panic")
 }

@@ -1,0 +1,186 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"triplec/internal/tasks"
+)
+
+// The degradation ladder makes the paper's data-dependent scenario switches
+// available as *explicit* quality modes: under sustained overload or
+// repeated failure the serving layer steps the pipeline down the ladder —
+// shedding the most expensive optional work first, exactly the work the
+// flow graph's own switches already prove the application survives without
+// — and steps back up only after a cool-down, because switching quality
+// modes has a transition cost of its own (cf. Jung et al.,
+// arXiv:1603.05775: mode switches must be damped, not instantaneous).
+
+// Quality is one rung of the degradation ladder, mildest first.
+type Quality int
+
+const (
+	// QualityFull runs the whole flow graph.
+	QualityFull Quality = iota
+	// QualityRDGROI sheds full-frame ridge detection: RDG runs only at ROI
+	// granularity (frames without a known ROI skip ridge detection), the
+	// single most expensive task in the paper's Table 2.
+	QualityRDGROI
+	// QualityRDGOff sheds ridge detection entirely; marker extraction runs
+	// on the raw frame.
+	QualityRDGOff
+	// QualityNoZoom additionally sheds the output zoom (the enhanced frame
+	// is still computed for the temporal stack, but no zoomed output is
+	// produced).
+	QualityNoZoom
+	// QualitySerial is the bottom rung: in addition to the NoZoom shedding
+	// the serving layer forces the serial mapping, shrinking the stream's
+	// core footprint to one.
+	QualitySerial
+)
+
+// QualityMax is the bottom of the ladder.
+const QualityMax = QualitySerial
+
+func (q Quality) String() string {
+	switch q {
+	case QualityFull:
+		return "full"
+	case QualityRDGROI:
+		return "rdg-roi"
+	case QualityRDGOff:
+		return "rdg-off"
+	case QualityNoZoom:
+		return "no-zoom"
+	case QualitySerial:
+		return "serial"
+	}
+	return fmt.Sprintf("quality(%d)", int(q))
+}
+
+// Sheds reports whether the quality level suppresses the given task.
+func (q Quality) Sheds(name tasks.Name) bool {
+	switch name {
+	case tasks.NameRDGFull:
+		return q >= QualityRDGROI
+	case tasks.NameRDGROI:
+		return q >= QualityRDGOff
+	case tasks.NameZOOM:
+		return q >= QualityNoZoom
+	}
+	return false
+}
+
+// ForceSerial reports whether the level demands the serial mapping.
+func (q Quality) ForceSerial() bool { return q >= QualitySerial }
+
+// DegraderConfig tunes the ladder's transition hysteresis. All counts are
+// frames; the zero value means defaults.
+type DegraderConfig struct {
+	// StepDownAfter is the consecutive bad frames (deadline miss, task
+	// failure, abandonment) that trigger a step down (default 3).
+	StepDownAfter int
+	// StepUpAfter is the consecutive good frames required to step back up
+	// one rung — the cool-down (default 24; much larger than StepDownAfter
+	// so the ladder reacts fast and recovers cautiously).
+	StepUpAfter int
+	// MinDwell is the minimum number of frames between two transitions, in
+	// either direction, damping oscillation when the load sits exactly at a
+	// rung boundary (default 8).
+	MinDwell int
+}
+
+func (c DegraderConfig) withDefaults() DegraderConfig {
+	if c.StepDownAfter == 0 {
+		c.StepDownAfter = 3
+	}
+	if c.StepUpAfter == 0 {
+		c.StepUpAfter = 24
+	}
+	if c.MinDwell == 0 {
+		c.MinDwell = 8
+	}
+	return c
+}
+
+// Validate rejects negative hysteresis counts.
+func (c DegraderConfig) Validate() error {
+	if c.StepDownAfter < 0 || c.StepUpAfter < 0 || c.MinDwell < 0 {
+		return fmt.Errorf("pipeline: degrader counts must be non-negative, got down=%d up=%d dwell=%d",
+			c.StepDownAfter, c.StepUpAfter, c.MinDwell)
+	}
+	return nil
+}
+
+// Degrader is the per-stream ladder state machine. It is driven from the
+// stream's serving goroutine (one Observe per offered frame) and is not
+// safe for concurrent use. All methods are nil-safe so the serving loop
+// carries no degradation-enabled branches.
+type Degrader struct {
+	cfg         DegraderConfig
+	level       Quality
+	bad, good   int // consecutive outcome counters
+	sinceSwitch int // frames since the last transition
+	transitions int
+}
+
+// NewDegrader builds a ladder controller (zero-value config = defaults).
+func NewDegrader(cfg DegraderConfig) (*Degrader, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Degrader{cfg: cfg.withDefaults()}
+	d.sinceSwitch = d.cfg.MinDwell // the first transition needs no dwell
+	return d, nil
+}
+
+// Level returns the current rung (QualityFull on a nil degrader).
+func (d *Degrader) Level() Quality {
+	if d == nil {
+		return QualityFull
+	}
+	return d.level
+}
+
+// Transitions returns how many rung changes have been applied.
+func (d *Degrader) Transitions() int {
+	if d == nil {
+		return 0
+	}
+	return d.transitions
+}
+
+// Observe feeds one frame outcome (ok = processed within budget, no
+// failure) and returns true when the ladder changed rung.
+func (d *Degrader) Observe(ok bool) bool {
+	if d == nil {
+		return false
+	}
+	d.sinceSwitch++
+	if ok {
+		d.good++
+		d.bad = 0
+	} else {
+		d.bad++
+		d.good = 0
+	}
+	if d.sinceSwitch < d.cfg.MinDwell {
+		return false
+	}
+	if d.bad >= d.cfg.StepDownAfter && d.level < QualityMax {
+		d.level++
+		d.step()
+		return true
+	}
+	if d.good >= d.cfg.StepUpAfter && d.level > QualityFull {
+		d.level--
+		d.step()
+		return true
+	}
+	return false
+}
+
+func (d *Degrader) step() {
+	d.bad, d.good = 0, 0
+	d.sinceSwitch = 0
+	d.transitions++
+}

@@ -1,0 +1,145 @@
+package pipeline
+
+import "testing"
+
+import "triplec/internal/tasks"
+
+func mustDegrader(t *testing.T, cfg DegraderConfig) *Degrader {
+	t.Helper()
+	d, err := NewDegrader(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestQualitySheds(t *testing.T) {
+	cases := []struct {
+		q    Quality
+		task tasks.Name
+		shed bool
+	}{
+		{QualityFull, tasks.NameRDGFull, false},
+		{QualityFull, tasks.NameZOOM, false},
+		{QualityRDGROI, tasks.NameRDGFull, true},
+		{QualityRDGROI, tasks.NameRDGROI, false},
+		{QualityRDGOff, tasks.NameRDGROI, true},
+		{QualityRDGOff, tasks.NameZOOM, false},
+		{QualityNoZoom, tasks.NameZOOM, true},
+		{QualitySerial, tasks.NameZOOM, true},
+		// The analysis core is never shed, even at the bottom rung.
+		{QualitySerial, tasks.NameENH, false},
+		{QualitySerial, tasks.NameREG, false},
+		{QualitySerial, tasks.NameMKXExt, false},
+	}
+	for _, c := range cases {
+		if got := c.q.Sheds(c.task); got != c.shed {
+			t.Errorf("%v.Sheds(%s) = %v, want %v", c.q, c.task, got, c.shed)
+		}
+	}
+	if QualityFull.ForceSerial() || QualityNoZoom.ForceSerial() {
+		t.Error("non-bottom rung forces serial")
+	}
+	if !QualitySerial.ForceSerial() {
+		t.Error("bottom rung does not force serial")
+	}
+}
+
+func TestQualityString(t *testing.T) {
+	for q := QualityFull; q <= QualityMax; q++ {
+		if s := q.String(); s == "" || s[0] == 'q' {
+			t.Errorf("rung %d has placeholder string %q", int(q), s)
+		}
+	}
+	if Quality(99).String() != "quality(99)" {
+		t.Error("out-of-range rung not labeled")
+	}
+}
+
+func TestDegraderConfigValidation(t *testing.T) {
+	for _, cfg := range []DegraderConfig{
+		{StepDownAfter: -1},
+		{StepUpAfter: -1},
+		{MinDwell: -1},
+	} {
+		if _, err := NewDegrader(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestDegraderStepsDownAndRecovers(t *testing.T) {
+	d := mustDegrader(t, DegraderConfig{StepDownAfter: 3, StepUpAfter: 5, MinDwell: 2})
+	// Two bad frames: not enough.
+	d.Observe(false)
+	d.Observe(false)
+	if d.Level() != QualityFull {
+		t.Fatalf("stepped down after 2 bad frames: %v", d.Level())
+	}
+	// Third consecutive bad frame trips a step down.
+	if !d.Observe(false) {
+		t.Fatal("no transition at StepDownAfter")
+	}
+	if d.Level() != QualityRDGROI {
+		t.Fatalf("level %v, want rdg-roi", d.Level())
+	}
+	// Recovery: 5 consecutive good frames step back up.
+	for i := 0; i < 4; i++ {
+		if d.Observe(true) {
+			t.Fatalf("stepped up early at good frame %d", i+1)
+		}
+	}
+	if !d.Observe(true) {
+		t.Fatal("no step up after StepUpAfter good frames")
+	}
+	if d.Level() != QualityFull {
+		t.Fatalf("level %v after recovery, want full", d.Level())
+	}
+	if d.Transitions() != 2 {
+		t.Fatalf("transitions %d, want 2", d.Transitions())
+	}
+	// Cannot step above full.
+	for i := 0; i < 20; i++ {
+		d.Observe(true)
+	}
+	if d.Level() != QualityFull {
+		t.Fatal("stepped above full")
+	}
+}
+
+func TestDegraderBottomsOut(t *testing.T) {
+	d := mustDegrader(t, DegraderConfig{StepDownAfter: 1, StepUpAfter: 100, MinDwell: 1})
+	for i := 0; i < 50; i++ {
+		d.Observe(false)
+	}
+	if d.Level() != QualityMax {
+		t.Fatalf("level %v under sustained failure, want serial", d.Level())
+	}
+	if d.Transitions() != int(QualityMax) {
+		t.Fatalf("transitions %d, want %d", d.Transitions(), int(QualityMax))
+	}
+}
+
+func TestDegraderMinDwellDampsOscillation(t *testing.T) {
+	d := mustDegrader(t, DegraderConfig{StepDownAfter: 1, StepUpAfter: 1, MinDwell: 6})
+	d.Observe(false) // first transition needs no dwell
+	if d.Level() != QualityRDGROI {
+		t.Fatalf("level %v, want rdg-roi", d.Level())
+	}
+	// Alternating outcomes within the dwell window: no further transitions.
+	for i := 0; i < 5; i++ {
+		if d.Observe(i%2 == 0) {
+			t.Fatalf("transition inside dwell window at frame %d", i)
+		}
+	}
+	if d.Transitions() != 1 {
+		t.Fatalf("transitions %d, want 1", d.Transitions())
+	}
+}
+
+func TestDegraderNilSafe(t *testing.T) {
+	var d *Degrader
+	if d.Observe(false) || d.Level() != QualityFull || d.Transitions() != 0 {
+		t.Fatal("nil degrader misbehaved")
+	}
+}

@@ -1,0 +1,125 @@
+package pipeline
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"triplec/internal/frame"
+	"triplec/internal/parallel"
+	"triplec/internal/tasks"
+)
+
+// This file is the engine's fault boundary: every task invocation runs
+// behind a panic guard that converts a crash into a typed *TaskError (the
+// frame fails, the engine survives), an injectable pre-task hook lets the
+// fault layer interpose deterministically, and a TaskGate (circuit breaker)
+// can suppress an optional task whose failure rate tripped its circuit.
+
+// TaskError is a panic recovered from a task execution, converted to an
+// error so one poisoned frame cannot take down the stream (let alone the
+// process). Task names the task that was executing, Frame the frame index.
+type TaskError struct {
+	Task  tasks.Name
+	Frame int
+	Cause any    // the recovered panic value
+	Stack []byte // stack of the panicking goroutine
+}
+
+func (e *TaskError) Error() string {
+	return fmt.Sprintf("pipeline: task %s panicked at frame %d: %v", e.Task, e.Frame, e.Cause)
+}
+
+// TaskGate decides per frame whether an optional task may run — the shape
+// of fault.Breaker, declared here so the pipeline does not depend on the
+// fault package. Allow is consulted before gated tasks only (RDG variants,
+// GW_EXT, ZOOM: the tasks the flow graph stays well-formed without); Record
+// feeds their outcomes back.
+type TaskGate interface {
+	Allow(task tasks.Name) bool
+	Record(task tasks.Name, ok bool)
+}
+
+// gatedTask reports whether a task is optional enough to be suppressed by
+// an open circuit: the analysis core (detection, marker extraction, couple
+// selection, registration, ROI estimation, enhancement) always runs.
+func gatedTask(name tasks.Name) bool {
+	switch name {
+	case tasks.NameRDGFull, tasks.NameRDGROI, tasks.NameGWExt, tasks.NameZOOM:
+		return true
+	}
+	return false
+}
+
+// SetTaskHook installs a hook invoked immediately before every task
+// execution with the task name and frame index — the fault injector's
+// interposition point. The hook runs on the processing goroutine and may
+// panic (the guard converts it to a *TaskError attributed to that task).
+// A nil fn removes the hook. Same single-goroutine contract as Process.
+func (e *Engine) SetTaskHook(fn func(task tasks.Name, frameIdx int)) { e.hook = fn }
+
+// SetGate installs a circuit-breaker gate over the optional tasks. A nil
+// gate removes it. Same single-goroutine contract as Process.
+func (e *Engine) SetGate(g TaskGate) { e.gate = g }
+
+// SetQuality sets the engine's quality level; Process suppresses the tasks
+// the level sheds (see Quality). Same single-goroutine contract as Process.
+func (e *Engine) SetQuality(q Quality) {
+	if q < QualityFull {
+		q = QualityFull
+	}
+	if q > QualityMax {
+		q = QualityMax
+	}
+	e.quality = q
+}
+
+// Quality returns the engine's current quality level.
+func (e *Engine) Quality() Quality { return e.quality }
+
+// enter marks a task as executing (for panic attribution) and fires the
+// pre-task hook.
+func (e *Engine) enter(name tasks.Name) {
+	e.inTask = name
+	if e.hook != nil {
+		e.hook(name, e.frameIdx)
+	}
+}
+
+// allowTask merges quality shedding and the breaker gate for one optional
+// task; a suppressed task is recorded on the report.
+func (e *Engine) allowTask(rep *Report, name tasks.Name) bool {
+	if e.quality.Sheds(name) {
+		rep.Suppressed = append(rep.Suppressed, name)
+		return false
+	}
+	if e.gate != nil && gatedTask(name) && !e.gate.Allow(name) {
+		rep.Suppressed = append(rep.Suppressed, name)
+		return false
+	}
+	return true
+}
+
+// recoverFrame is Process's deferred panic guard: it converts the panic to
+// a *TaskError, feeds the failure to the gate, and resets the inter-frame
+// state (the panic may have left it half-updated, so the temporal stack is
+// invalidated exactly like a failed registration).
+func (e *Engine) recoverFrame(r any, rep *Report, err *error) {
+	failed := e.inTask
+	te := &TaskError{Task: failed, Frame: e.frameIdx, Cause: r}
+	if pe, ok := r.(*parallel.PanicError); ok {
+		te.Cause, te.Stack = pe.Value, pe.Stack
+	} else {
+		te.Stack = debug.Stack()
+	}
+	if e.gate != nil && gatedTask(failed) {
+		e.gate.Record(failed, false)
+	}
+	*rep = Report{}
+	*err = te
+	e.frameIdx++
+	e.prevFrame = nil
+	e.prevCouple = nil
+	e.prevROI = frame.Rect{}
+	e.enh.Reset()
+	e.inTask = ""
+}

@@ -70,6 +70,11 @@ type Report struct {
 	// frame still processes, but its memory-traffic charge is incomplete
 	// and downstream consumers must not treat the cost as trustworthy.
 	AccountingErrs []string
+	// Quality is the degradation rung the frame was processed at.
+	Quality Quality
+	// Suppressed lists tasks withheld this frame by the quality level or an
+	// open circuit (nil when nothing was shed).
+	Suppressed []tasks.Name
 }
 
 // TaskMs returns the execution time of the named task within the report, or
@@ -123,6 +128,12 @@ type Engine struct {
 	prevROI    frame.Rect
 
 	observer func(Report)
+
+	// Fault boundary (see guard.go / degrade.go).
+	hook    func(task tasks.Name, frameIdx int)
+	gate    TaskGate
+	quality Quality
+	inTask  tasks.Name // task currently executing, for panic attribution
 }
 
 // New builds an engine for the given configuration.
@@ -212,12 +223,21 @@ func (e *Engine) charge(rep *Report, name tasks.Name, cost platform.Cost, rdgOn 
 	ms := e.machine.StripedMs(cost, k)
 	rep.Execs = append(rep.Execs, TaskExec{Task: name, Cost: cost, Stripes: k, Ms: ms})
 	rep.LatencyMs += ms
+	// Reaching charge means the task completed: feed the breaker a success
+	// (failures are recorded by recoverFrame before the charge is reached).
+	if e.gate != nil && gatedTask(name) {
+		e.gate.Record(name, true)
+	}
 }
 
 // Process runs one frame through the flow graph under the given mapping and
 // returns the per-frame report. The mapping must validate against the
 // engine's architecture.
-func (e *Engine) Process(f *frame.Frame, m partition.Mapping) (Report, error) {
+//
+// A panic inside a task (or the installed task hook) does not escape: it is
+// recovered into a *TaskError, the frame fails, and the engine resets its
+// inter-frame state so the next frame starts from a clean temporal stack.
+func (e *Engine) Process(f *frame.Frame, m partition.Mapping) (rep Report, err error) {
 	if f == nil || f.Pixels() == 0 {
 		return Report{}, errors.New("pipeline: empty frame")
 	}
@@ -227,12 +247,18 @@ func (e *Engine) Process(f *frame.Frame, m partition.Mapping) (Report, error) {
 	if err := m.Validate(e.cfg.Arch.NumCPUs); err != nil {
 		return Report{}, err
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			e.recoverFrame(r, &rep, &err)
+		}
+	}()
 	// Nine task slots at most (detect, rdg, mkx, cpls, reg, roi, gw, enh,
 	// zoom); preallocating keeps the per-frame loop free of append growth.
-	rep := Report{Index: e.frameIdx, Mapping: m, Execs: make([]TaskExec, 0, 9)}
+	rep = Report{Index: e.frameIdx, Mapping: m, Quality: e.quality, Execs: make([]TaskExec, 0, 9)}
 	bounds := f.Bounds
 
 	// Switch 1: are dominant structures present (is RDG required)?
+	e.enter(tasks.NameDetect)
 	rdgOn, dCost := e.detect.Run(f)
 	e.charge(&rep, tasks.NameDetect, dCost, rdgOn, m)
 
@@ -244,23 +270,29 @@ func (e *Engine) Process(f *frame.Frame, m partition.Mapping) (Report, error) {
 	}
 	rep.AnalysisPixels = analysis.Pixels()
 
-	// RDG variant per switch 1 and the granularity.
+	// RDG variant per switch 1 and the granularity; the variant may be shed
+	// by the quality level or an open circuit (MKX then runs unfiltered on
+	// the analysis region, exactly the RDG-off path of the flow graph).
 	var ridge *tasks.RidgeResult
 	if rdgOn {
 		name := tasks.NameRDGFull
 		if roiKnown {
 			name = tasks.NameRDGROI
 		}
-		var rCost platform.Cost
-		if k := m.StripesFor(name); e.cfg.RealStriping && k > 1 {
-			ridge, rCost = e.rdg.RunStriped(analysis, k)
-		} else {
-			ridge, rCost = e.rdg.Run(analysis)
+		if e.allowTask(&rep, name) {
+			e.enter(name)
+			var rCost platform.Cost
+			if k := m.StripesFor(name); e.cfg.RealStriping && k > 1 {
+				ridge, rCost = e.rdg.RunStriped(analysis, k)
+			} else {
+				ridge, rCost = e.rdg.Run(analysis)
+			}
+			e.charge(&rep, name, rCost, rdgOn, m)
 		}
-		e.charge(&rep, name, rCost, rdgOn, m)
 	}
 
 	// Marker extraction and couples selection.
+	e.enter(tasks.NameMKXExt)
 	cands, mCost := e.mkx.Run(analysis, ridge)
 	e.charge(&rep, tasks.NameMKXExt, mCost, rdgOn, m)
 	rep.Candidates = len(cands)
@@ -271,11 +303,13 @@ func (e *Engine) Process(f *frame.Frame, m partition.Mapping) (Report, error) {
 		ridge.Response, ridge.Mask = nil, nil
 	}
 
+	e.enter(tasks.NameCPLSSel)
 	couple, cCost := e.cpls.Run(cands)
 	e.charge(&rep, tasks.NameCPLSSel, cCost, rdgOn, m)
 	rep.Couple = couple
 
 	// Temporal registration against the previous frame (switch 3 input).
+	e.enter(tasks.NameREG)
 	reg, gCost := e.reg.Run(e.prevFrame, f, e.prevCouple, couple)
 	e.charge(&rep, tasks.NameREG, gCost, rdgOn, m)
 	rep.Registration = reg
@@ -283,21 +317,29 @@ func (e *Engine) Process(f *frame.Frame, m partition.Mapping) (Report, error) {
 	newROI := frame.Rect{}
 	if reg.OK {
 		// ROI estimation, guide-wire verification, enhancement, zoom.
+		e.enter(tasks.NameROIEst)
 		var roiCost platform.Cost
 		newROI, roiCost = e.roiEst.Run(couple, bounds)
 		e.charge(&rep, tasks.NameROIEst, roiCost, rdgOn, m)
 		rep.ROI = newROI
 
-		var gwCost platform.Cost
-		rep.GuideWire, gwCost = e.gw.Run(f, couple)
-		e.charge(&rep, tasks.NameGWExt, gwCost, rdgOn, m)
+		if e.allowTask(&rep, tasks.NameGWExt) {
+			e.enter(tasks.NameGWExt)
+			var gwCost platform.Cost
+			rep.GuideWire, gwCost = e.gw.Run(f, couple)
+			e.charge(&rep, tasks.NameGWExt, gwCost, rdgOn, m)
+		}
 
+		e.enter(tasks.NameENH)
 		enhanced, eCost := e.enh.Run(f, couple)
 		e.charge(&rep, tasks.NameENH, eCost, rdgOn, m)
 
-		out, zCost := e.zoom.Run(enhanced)
-		e.charge(&rep, tasks.NameZOOM, zCost, rdgOn, m)
-		rep.Output = out
+		if e.allowTask(&rep, tasks.NameZOOM) {
+			e.enter(tasks.NameZOOM)
+			out, zCost := e.zoom.Run(enhanced)
+			e.charge(&rep, tasks.NameZOOM, zCost, rdgOn, m)
+			rep.Output = out
+		}
 	} else {
 		// A broken registration invalidates the temporal stack.
 		e.enh.Reset()
@@ -306,6 +348,7 @@ func (e *Engine) Process(f *frame.Frame, m partition.Mapping) (Report, error) {
 	rep.Scenario = flowgraph.Scenario{RDGOn: rdgOn, ROIKnown: roiKnown, RegSuccess: reg.OK}
 
 	// Advance inter-frame state.
+	e.inTask = ""
 	e.frameIdx++
 	e.prevFrame = f
 	if couple != nil {

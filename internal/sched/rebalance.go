@@ -148,6 +148,7 @@ type MultiManager struct {
 	totalCores int
 	demands    []float64
 	seen       []bool
+	active     []bool
 	budgets    []int
 	rebalances int
 }
@@ -166,7 +167,11 @@ func NewMultiManager(totalCores, n int) (*MultiManager, error) {
 		totalCores: totalCores,
 		demands:    make([]float64, n),
 		seen:       make([]bool, n),
+		active:     make([]bool, n),
 		budgets:    make([]int, n),
+	}
+	for i := range mm.active {
+		mm.active[i] = true
 	}
 	even, err := SplitCores(totalCores, mm.demands)
 	if err != nil {
@@ -187,7 +192,7 @@ func (mm *MultiManager) ReportDemand(i int, predictedMs float64) {
 	}
 	mm.mu.Lock()
 	defer mm.mu.Unlock()
-	if i < 0 || i >= len(mm.demands) {
+	if i < 0 || i >= len(mm.demands) || !mm.active[i] {
 		return
 	}
 	a := mm.Alpha
@@ -203,25 +208,80 @@ func (mm *MultiManager) ReportDemand(i int, predictedMs float64) {
 }
 
 // Rebalance re-divides the cores from the currently reported demands and
-// returns a copy of the new per-stream budgets.
+// returns a copy of the new per-stream budgets. Retired streams are excluded
+// from the split and hold a zero budget.
 func (mm *MultiManager) Rebalance() []int {
 	mm.mu.Lock()
 	defer mm.mu.Unlock()
-	if b, err := SplitCores(mm.totalCores, mm.demands); err == nil {
-		mm.budgets = b
-		mm.rebalances++
-		if m := mm.Metrics; m != nil {
-			m.Rebalances.Inc()
-			if len(m.CoreAllocation) == len(b) {
-				for i, cores := range b {
-					m.CoreAllocation[i].Set(float64(cores))
-				}
-			}
-		}
-	}
+	mm.rebalanceLocked()
 	out := make([]int, len(mm.budgets))
 	copy(out, mm.budgets)
 	return out
+}
+
+func (mm *MultiManager) rebalanceLocked() {
+	// Compact the active streams, split the full machine among them, and
+	// scatter the shares back; retired slots get zero.
+	idx := make([]int, 0, len(mm.demands))
+	live := make([]float64, 0, len(mm.demands))
+	for i, d := range mm.demands {
+		if mm.active[i] {
+			idx = append(idx, i)
+			live = append(live, d)
+		}
+	}
+	if len(idx) == 0 {
+		return
+	}
+	b, err := SplitCores(mm.totalCores, live)
+	if err != nil {
+		return
+	}
+	for i := range mm.budgets {
+		mm.budgets[i] = 0
+	}
+	for j, i := range idx {
+		mm.budgets[i] = b[j]
+	}
+	mm.rebalances++
+	if m := mm.Metrics; m != nil {
+		m.Rebalances.Inc()
+		if len(m.CoreAllocation) == len(mm.budgets) {
+			for i, cores := range mm.budgets {
+				m.CoreAllocation[i].Set(float64(cores))
+			}
+		}
+	}
+}
+
+// Retire permanently removes stream i from the arbitration (it crashed past
+// its restart budget and was quarantined): its demand is zeroed, it receives
+// a zero budget, and the machine is immediately re-divided among the
+// remaining active streams so they regain the quarantined stream's cores
+// without waiting for the next control period.
+func (mm *MultiManager) Retire(i int) {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	if i < 0 || i >= len(mm.active) || !mm.active[i] {
+		return
+	}
+	mm.active[i] = false
+	mm.demands[i] = 0
+	mm.seen[i] = false
+	mm.rebalanceLocked()
+}
+
+// ActiveStreams returns how many streams are still being arbitrated.
+func (mm *MultiManager) ActiveStreams() int {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	n := 0
+	for _, a := range mm.active {
+		if a {
+			n++
+		}
+	}
+	return n
 }
 
 // BudgetFor returns stream i's current core budget.

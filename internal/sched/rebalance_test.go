@@ -187,3 +187,62 @@ func TestMultiManagerIndexBounds(t *testing.T) {
 		t.Fatalf("out-of-range budget = %d, want the one-core floor", b)
 	}
 }
+
+func TestMultiManagerRetire(t *testing.T) {
+	mm, err := NewMultiManager(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		mm.ReportDemand(i, 40)
+	}
+	mm.Rebalance()
+	if mm.ActiveStreams() != 4 {
+		t.Fatalf("active = %d, want 4", mm.ActiveStreams())
+	}
+	// Quarantine stream 1: its cores flow to the survivors immediately.
+	before := mm.Rebalances()
+	mm.Retire(1)
+	if mm.Rebalances() != before+1 {
+		t.Fatal("retire did not rebalance immediately")
+	}
+	if mm.ActiveStreams() != 3 {
+		t.Fatalf("active = %d after retire, want 3", mm.ActiveStreams())
+	}
+	if b := mm.BudgetFor(1); b != 0 {
+		t.Fatalf("retired stream holds %d cores, want 0", b)
+	}
+	total := 0
+	for i := 0; i < 4; i++ {
+		total += mm.BudgetFor(i)
+	}
+	if total != 8 {
+		t.Fatalf("survivors hold %d cores, want the full 8", total)
+	}
+	// Reports against a retired stream are dropped.
+	mm.ReportDemand(1, 500)
+	if d := mm.Demands(); d[1] != 0 {
+		t.Fatalf("retired stream demand = %v, want 0", d[1])
+	}
+	// Retiring twice (or out of range) is a no-op.
+	mm.Retire(1)
+	mm.Retire(-1)
+	mm.Retire(99)
+	if mm.ActiveStreams() != 3 || mm.Rebalances() != before+1 {
+		t.Fatal("repeated retire was not a no-op")
+	}
+}
+
+func TestMultiManagerRetireAll(t *testing.T) {
+	mm, err := NewMultiManager(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm.Retire(0)
+	mm.Retire(1)
+	// No active streams left: budgets freeze, nothing panics.
+	mm.Rebalance()
+	if mm.ActiveStreams() != 0 {
+		t.Fatal("streams left active")
+	}
+}

@@ -127,6 +127,13 @@ func (c *controller) directive(i, frameIdx int) Directive {
 	return Directive{Mode: ModeSerial, Cores: 1}
 }
 
+// quarantine retires stream i from the arbitration: its cores flow to the
+// surviving streams immediately (the arbiter rebalances inside Retire), so
+// they stop shedding load against a dead stream's stale demand.
+func (c *controller) quarantine(i int) {
+	c.mm.Retire(i)
+}
+
 // report feeds stream i's latest predicted serial demand to the arbiter and
 // triggers a re-division every rebalanceEvery reports.
 func (c *controller) report(i int, predictedMs float64) {

@@ -11,18 +11,24 @@ import (
 // so the JSON encoding can never fail on NaN/Inf.
 type Health struct {
 	Stream string `json:"stream"`
-	// State is "idle" (before the first Run), "serving", "done" or
-	// "failed"; Error carries the serve error of a failed stream.
+	// State is "idle" (before the first Run), "serving", "done", "failed"
+	// or "quarantined"; Error carries the serve error of a failed or
+	// quarantined stream.
 	State string `json:"state"`
 	Error string `json:"error,omitempty"`
 
 	Offered         uint64 `json:"offered"`
 	Processed       uint64 `json:"processed"`
 	Skipped         uint64 `json:"skipped"`
+	Failed          uint64 `json:"failed"`
+	Abandoned       uint64 `json:"abandoned"`
 	SerialFallbacks uint64 `json:"serial_fallbacks"`
 	DeadlineMisses  uint64 `json:"deadline_misses"`
 	AccountingErrs  uint64 `json:"accounting_errors"`
+	Restarts        uint64 `json:"restarts"`
+	TaskPanics      uint64 `json:"task_panics"`
 	LastFrame       int    `json:"last_frame"`
+	QualityLevel    int    `json:"quality_level"`
 
 	MissRate        float64 `json:"miss_rate"`
 	ScenarioHitRate float64 `json:"scenario_hit_rate"`
@@ -47,6 +53,8 @@ func stateString(s int32) string {
 		return "done"
 	case streamFailed:
 		return "failed"
+	case streamQuarantined:
+		return "quarantined"
 	}
 	return "idle"
 }
@@ -75,10 +83,15 @@ func (s *Server) Healths() []Health {
 			Offered:         a.Offered.Value(),
 			Processed:       a.Processed.Value(),
 			Skipped:         a.Skipped.Value(),
+			Failed:          t.failedFrames.Value(),
+			Abandoned:       t.abandonedFrames.Value(),
 			SerialFallbacks: a.SerialFallbacks.Value(),
 			DeadlineMisses:  a.DeadlineMisses.Value(),
 			AccountingErrs:  a.AccountingErrs.Value(),
+			Restarts:        t.restarts.Value(),
+			TaskPanics:      t.taskPanics.Value(),
 			LastFrame:       int(finiteOr0(a.LastFrame.Value())),
+			QualityLevel:    int(finiteOr0(t.qualityLevel.Value())),
 			MissRate:        finiteOr0(a.MissRate()),
 			ScenarioHitRate: finiteOr0(a.ScenarioHitRate()),
 			BudgetMs:        finiteOr0(a.BudgetMs.Value()),
@@ -110,7 +123,7 @@ func (s *Server) HealthHandler() http.Handler {
 		rep := healthReport{Status: "ok", Streams: streams}
 		code := http.StatusOK
 		for _, h := range streams {
-			if h.State == "failed" {
+			if h.State == "failed" || h.State == "quarantined" {
 				rep.Status = "degraded"
 				code = http.StatusServiceUnavailable
 				break

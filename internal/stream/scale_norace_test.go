@@ -1,0 +1,6 @@
+//go:build !race
+
+package stream
+
+// raceScale is 1 without the race detector; see scale_race_test.go.
+const raceScale = 1.0

@@ -1,0 +1,9 @@
+//go:build race
+
+package stream
+
+// raceScale widens the wall-clock thresholds (watchdogs, stall limits,
+// injected hang durations) in the timing-sensitive tests: under the race
+// detector frames run many times slower, and an unscaled watchdog would
+// abandon healthy frames.
+const raceScale = 8.0

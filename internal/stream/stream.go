@@ -47,6 +47,15 @@ type Config struct {
 	// BudgetMs is the per-frame latency deadline. 0 initializes it from
 	// the first processed frame like the paper's runtime manager does.
 	BudgetMs float64
+	// Rebuild, when set, constructs a fresh Engine+Manager pair for this
+	// stream after a stall (a frame exceeding ServerConfig.StallMs): the
+	// stalled engine may still be executing on a leaked goroutine, so per
+	// the Engine concurrency contract it can never be touched again. The
+	// supervisor quarantines a stalled stream immediately when Rebuild is
+	// nil. The returned manager starts untrained (or pre-trained, the
+	// caller's choice); its budget is re-initialized from the crashed
+	// manager automatically.
+	Rebuild func() (*pipeline.Engine, *sched.Manager, error)
 }
 
 // ServerConfig tunes the serving layer.
@@ -66,6 +75,42 @@ type ServerConfig struct {
 	// 0 means the default of 2.0; negative or NaN values are rejected by
 	// NewServer.
 	SkipOver float64
+	// WatchdogMs, when positive, is the per-frame *wall-clock* deadline: a
+	// frame still executing past it is abandoned (counted, traced, and the
+	// next frame admitted once the engine comes back). 0 disables the
+	// watchdog. Distinct from Config.BudgetMs, which bounds the modeled
+	// latency — the watchdog guards the host against stuck tasks.
+	WatchdogMs float64
+	// StallMs is the total wall-clock wait before an abandoned frame's
+	// engine is declared stalled (likely hung forever): the serving loop
+	// must wait for an abandoned frame before reusing its engine (Engine
+	// concurrency contract), so only a stall breaks off — after which the
+	// engine is poisoned and the supervisor must Rebuild or quarantine.
+	// 0 defaults to 10x WatchdogMs; it must exceed WatchdogMs.
+	StallMs float64
+	// Supervise enables the restart supervisor: a stream whose serving
+	// loop dies (stall, nil source frame, planning failure) is restarted
+	// with capped exponential backoff instead of ending the stream, and
+	// quarantined after MaxRestarts consecutive failures without progress
+	// (or RestartBudget restarts in total). Quarantine retires the stream
+	// from the core arbitration so healthy streams inherit its share.
+	Supervise bool
+	// MaxRestarts is the consecutive no-progress restart limit before
+	// quarantine (default 3).
+	MaxRestarts int
+	// RestartBudget is the stream-lifetime restart limit (default 10).
+	RestartBudget int
+	// BackoffMs is the initial restart backoff (default 1); doubled per
+	// consecutive restart and capped at MaxBackoffMs (default 100).
+	BackoffMs    float64
+	MaxBackoffMs float64
+	// Degrade enables the per-stream degradation ladder: sustained bad
+	// frames (miss, failure, abandonment) step the pipeline down
+	// pipeline.Quality rungs, recovered streams step back up after the
+	// cool-down (see pipeline.DegraderConfig).
+	Degrade bool
+	// Degrader tunes the ladder's hysteresis (zero value = defaults).
+	Degrader pipeline.DegraderConfig
 	// Metrics, when set, enables the live telemetry layer: NewServer
 	// registers one per-stream instrument set (metrics.Accountant plus the
 	// plan-level gauges) and the global arbiter instruments on this
@@ -86,18 +131,43 @@ func (c ServerConfig) withDefaults(streams []Config) ServerConfig {
 	if c.SkipOver == 0 {
 		c.SkipOver = 2.0
 	}
+	if c.WatchdogMs > 0 && c.StallMs == 0 {
+		c.StallMs = 10 * c.WatchdogMs
+	}
+	if c.Supervise {
+		if c.MaxRestarts == 0 {
+			c.MaxRestarts = 3
+		}
+		if c.RestartBudget == 0 {
+			c.RestartBudget = 10
+		}
+		if c.BackoffMs == 0 {
+			c.BackoffMs = 1
+		}
+		if c.MaxBackoffMs == 0 {
+			c.MaxBackoffMs = 100
+		}
+	}
 	return c
 }
 
-// Stats summarizes one stream after a run.
+// Stats summarizes one stream after a run. Every offered frame lands in
+// exactly one of Processed, Skipped, Failed or Abandoned.
 type Stats struct {
 	Name            string
-	Offered         int // frames offered by the source
-	Processed       int // frames actually processed
-	Skipped         int // frames shed by the controller
-	SerialFallbacks int // processed frames forced to the serial mapping
-	DeadlineMisses  int // processed frames over the stream's budget
-	AccountingErrs  int // frames with incomplete bandwidth accounting
+	Offered         int  // frames offered by the source
+	Processed       int  // frames actually processed
+	Skipped         int  // frames shed by the controller
+	Failed          int  // frames lost to a recovered task panic or crash
+	Abandoned       int  // frames given up past the watchdog deadline
+	SerialFallbacks int  // processed frames forced to the serial mapping
+	DeadlineMisses  int  // processed frames over the stream's budget
+	AccountingErrs  int  // frames with incomplete bandwidth accounting
+	Restarts        int  // supervisor restarts of the serving loop
+	Quarantined     bool // stream retired after exhausting its restarts
+	Degradations    int  // quality-ladder transitions (either direction)
+	FinalQuality    pipeline.Quality
+	MeanRecoveryMs  float64 // mean crash-to-serving wall-clock time
 	BudgetMs        float64
 	MeanLatencyMs   float64
 	WorstLatencyMs  float64
@@ -117,7 +187,8 @@ type Result struct {
 	Stats   Stats
 	Reports []pipeline.Report // processed frames only
 	// Trace holds aligned per-frame series (one row per *offered* frame):
-	// latency_ms, predicted_ms, cores, missed, skipped, serial.
+	// latency_ms, predicted_ms, cores, missed, skipped, serial, failed,
+	// abandoned.
 	Trace *trace.Trace
 	Err   error
 }
@@ -146,6 +217,7 @@ func NewServer(cfg ServerConfig, streams []Config) (*Server, error) {
 	if len(streams) == 0 {
 		return nil, errors.New("stream: no streams to serve")
 	}
+	names := make(map[string]int, len(streams))
 	for i, s := range streams {
 		if s.Engine == nil || s.Manager == nil || s.Source == nil {
 			return nil, fmt.Errorf("stream: stream %d (%q) incomplete: needs engine, manager and source", i, s.Name)
@@ -153,9 +225,33 @@ func NewServer(cfg ServerConfig, streams []Config) (*Server, error) {
 		if s.FramePixels <= 0 {
 			return nil, fmt.Errorf("stream: stream %d (%q) has no frame geometry", i, s.Name)
 		}
-		if s.BudgetMs < 0 {
-			return nil, fmt.Errorf("stream: stream %d (%q) has negative budget", i, s.Name)
+		if s.BudgetMs < 0 || math.IsNaN(s.BudgetMs) || math.IsInf(s.BudgetMs, 0) {
+			return nil, fmt.Errorf("stream: stream %d (%q) has invalid budget %v ms; use 0 to initialize from the first frame or a positive finite deadline", i, s.Name, s.BudgetMs)
 		}
+		if s.Name != "" {
+			if j, dup := names[s.Name]; dup {
+				return nil, fmt.Errorf("stream: duplicate stream name %q (streams %d and %d); names label metrics and health reports, so they must be unique", s.Name, j, i)
+			}
+			names[s.Name] = i
+		}
+	}
+	if cfg.WatchdogMs < 0 || math.IsNaN(cfg.WatchdogMs) {
+		return nil, fmt.Errorf("stream: WatchdogMs %v is invalid; use 0 to disable the per-frame wall-clock deadline", cfg.WatchdogMs)
+	}
+	if cfg.StallMs < 0 || math.IsNaN(cfg.StallMs) {
+		return nil, fmt.Errorf("stream: StallMs %v is invalid; use 0 for the default of 10x WatchdogMs", cfg.StallMs)
+	}
+	if cfg.StallMs > 0 && cfg.StallMs <= cfg.WatchdogMs {
+		return nil, fmt.Errorf("stream: StallMs %v must exceed WatchdogMs %v (an abandoned frame is waited for before being declared stalled)", cfg.StallMs, cfg.WatchdogMs)
+	}
+	if cfg.MaxRestarts < 0 || cfg.RestartBudget < 0 {
+		return nil, fmt.Errorf("stream: MaxRestarts %d / RestartBudget %d must be non-negative; use 0 for the defaults", cfg.MaxRestarts, cfg.RestartBudget)
+	}
+	if cfg.BackoffMs < 0 || math.IsNaN(cfg.BackoffMs) || cfg.MaxBackoffMs < 0 || math.IsNaN(cfg.MaxBackoffMs) {
+		return nil, fmt.Errorf("stream: BackoffMs %v / MaxBackoffMs %v must be non-negative", cfg.BackoffMs, cfg.MaxBackoffMs)
+	}
+	if err := cfg.Degrader.Validate(); err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
 	}
 	if cfg.RebalanceEvery < 0 {
 		return nil, fmt.Errorf("stream: RebalanceEvery %d is negative; use 0 for the default of 4 demand reports per re-division", cfg.RebalanceEvery)
@@ -218,7 +314,7 @@ func (s *Server) Run(n int) (RunResult, error) {
 			if s.tels != nil {
 				tel = s.tels[si]
 			}
-			out.Streams[si] = serveOne(si, s.streams[si], n, ctl, pool, tel)
+			out.Streams[si] = serveOne(si, s.streams[si], n, ctl, pool, tel, s.cfg)
 			done <- si
 		}(i)
 	}
@@ -254,56 +350,173 @@ func throughputFPS(processed int, wall time.Duration) float64 {
 	return float64(processed) / wall.Seconds()
 }
 
+// runner is one stream's serving state: the loop body in serveFrames and
+// the restart supervisor in supervisor.go both operate on it. It lives on
+// the stream's serving goroutine only.
+type runner struct {
+	si   int
+	sc   Config
+	n    int
+	ctl  *controller
+	pool *parallel.Pool
+	tel  *telemetry
+	cfg  ServerConfig
+
+	eng *pipeline.Engine
+	mgr *sched.Manager
+	deg *pipeline.Degrader
+
+	res          Result
+	latencySum   float64
+	sinceRestart int // frames resolved since the last (re)start
+}
+
 // serveOne is the per-stream goroutine body: admission, planning,
-// processing on the shared pool, observation, demand reporting. tel may be
-// nil (telemetry disabled); its event methods are nil-safe.
-func serveOne(si int, sc Config, n int, ctl *controller, pool *parallel.Pool, tel *telemetry) Result {
-	res := Result{
-		Stats:   Stats{Name: sc.Name, BudgetMs: sc.BudgetMs},
-		Reports: make([]pipeline.Report, 0, n),
+// processing on the shared pool, observation, demand reporting — wrapped by
+// the watchdog and, when enabled, the restart supervisor. tel may be nil
+// (telemetry disabled); its event methods are nil-safe.
+func serveOne(si int, sc Config, n int, ctl *controller, pool *parallel.Pool, tel *telemetry, cfg ServerConfig) Result {
+	r := &runner{
+		si: si, sc: sc, n: n, ctl: ctl, pool: pool, tel: tel, cfg: cfg,
+		eng: sc.Engine, mgr: sc.Manager,
+		res: Result{
+			Stats:   Stats{Name: sc.Name, BudgetMs: sc.BudgetMs},
+			Reports: make([]pipeline.Report, 0, n),
+		},
 	}
 	tel.serving()
-	defer func() { tel.finished(res.Err) }()
+	defer func() {
+		if r.res.Stats.Quarantined {
+			tel.quarantined(r.res.Err)
+		} else {
+			tel.finished(r.res.Err)
+		}
+	}()
 	tr := trace.New()
-	for _, col := range []string{"latency_ms", "predicted_ms", "cores", "missed", "skipped", "serial"} {
+	for _, col := range []string{"latency_ms", "predicted_ms", "cores", "missed", "skipped", "serial", "failed", "abandoned"} {
 		if err := tr.AddEmpty(col); err != nil {
-			res.Err = err
-			return res
+			r.res.Err = err
+			return r.res
 		}
 	}
-	res.Trace = tr
+	r.res.Trace = tr
 
-	mgr, eng := sc.Manager, sc.Engine
-	if sc.BudgetMs > 0 {
-		mgr.BudgetMs = sc.BudgetMs
+	if cfg.Degrade {
+		deg, err := pipeline.NewDegrader(cfg.Degrader)
+		if err != nil {
+			r.res.Err = err
+			return r.res
+		}
+		r.deg = deg
 	}
-	var latencySum float64
-	for i := 0; i < n; i++ {
+	if sc.BudgetMs > 0 {
+		r.mgr.BudgetMs = sc.BudgetMs
+	}
+	if cfg.Supervise {
+		r.supervised()
+	} else {
+		if _, _, err := r.serveFrames(0); err != nil {
+			r.res.Err = err
+		}
+	}
+	if r.res.Stats.Processed > 0 {
+		r.res.Stats.MeanLatencyMs = r.latencySum / float64(r.res.Stats.Processed)
+	}
+	r.res.Stats.BudgetMs = r.mgr.BudgetMs
+	r.res.Stats.FinalQuality = r.deg.Level()
+	r.res.Stats.Degradations = r.deg.Transitions()
+	return r.res
+}
+
+// procOutcome classifies one watched frame execution.
+type procOutcome int
+
+const (
+	procCompleted procOutcome = iota // Process returned within the watchdog
+	procAbandoned                    // late past WatchdogMs, but the engine came back
+	procStalled                      // still running past StallMs: engine poisoned
+)
+
+// runProcess executes one frame on the shared pool, watched. Without a
+// watchdog it degenerates to a plain synchronous call. An abandoned frame
+// is still *waited for* (up to StallMs) before returning, because the
+// engine must never be entered by two goroutines (Engine concurrency
+// contract); only a stall breaks off, leaving the engine unusable.
+func (r *runner) runProcess(f *frame.Frame, m partition.Mapping) (rep pipeline.Report, perr error, doErr error, outcome procOutcome) {
+	if r.cfg.WatchdogMs <= 0 {
+		doErr = r.pool.Do(func() { rep, perr = r.eng.Process(f, m) })
+		return rep, perr, doErr, procCompleted
+	}
+	// Bind the engine now: after a stall the supervisor swaps r.eng for a
+	// rebuilt one, and this goroutine (possibly still queued in the pool)
+	// must keep pointing at the poisoned engine, never the replacement. The
+	// results live in locals distinct from the named returns — on a stall
+	// this function returns while the leaked goroutine is still running, and
+	// it must not write into frames the caller has already read.
+	eng := r.eng
+	var (
+		lateRep          pipeline.Report
+		latePerr, lateDo error
+	)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		lateDo = r.pool.Do(func() { lateRep, latePerr = eng.Process(f, m) })
+	}()
+	watchdog := time.NewTimer(time.Duration(r.cfg.WatchdogMs * float64(time.Millisecond)))
+	defer watchdog.Stop()
+	select {
+	case <-done:
+		return lateRep, latePerr, lateDo, procCompleted
+	case <-watchdog.C:
+	}
+	// Past the wall-clock deadline: the frame is lost either way; wait for
+	// the engine up to the stall bound.
+	stall := time.NewTimer(time.Duration((r.cfg.StallMs - r.cfg.WatchdogMs) * float64(time.Millisecond)))
+	defer stall.Stop()
+	select {
+	case <-done:
+		return pipeline.Report{}, nil, nil, procAbandoned
+	case <-stall.C:
+		return pipeline.Report{}, nil, nil, procStalled
+	}
+}
+
+// serveFrames serves frames [start, n) on the runner's current engine. On a
+// fatal error it returns the index of the frame that killed the loop and
+// whether the engine stalled (poisoned); the supervisor accounts the frame
+// and resumes past it. err == nil means the stream completed.
+func (r *runner) serveFrames(start int) (failedAt int, stalled bool, err error) {
+	sc, tel, tr := r.sc, r.tel, r.res.Trace
+	res := &r.res
+	for i := start; i < r.n; i++ {
 		res.Stats.Offered++
 		tel.offered(i)
-		d := ctl.directive(si, i)
+		if r.deg != nil {
+			r.eng.SetQuality(r.deg.Level())
+		}
+		d := r.ctl.directive(r.si, i)
 		if d.Mode == ModeSkip {
 			res.Stats.Skipped++
+			r.sinceRestart++
 			tel.skipped()
-			if err := tr.Append(0, 0, 0, 0, 1, 0); err != nil {
-				res.Err = err
-				return res
+			if err := tr.Append(0, 0, 0, 0, 1, 0, 0, 0); err != nil {
+				return i, false, err
 			}
 			continue
 		}
-		if err := mgr.SetCoreBudget(clamp(d.Cores, 1, mgr.Arch().NumCPUs)); err != nil {
-			res.Err = err
-			return res
+		if err := r.mgr.SetCoreBudget(clamp(d.Cores, 1, r.mgr.Arch().NumCPUs)); err != nil {
+			return i, false, err
 		}
 		var dec sched.Decision
 		if res.Stats.Processed == 0 {
 			// Initialization frame: serial, like the paper's manager.
 			dec = sched.Decision{Mapping: partition.Serial()}
 		} else {
-			dec = mgr.Plan()
+			dec = r.mgr.Plan()
 		}
 		serialFrame := 0.0
-		if d.Mode == ModeSerial {
+		if d.Mode == ModeSerial || r.deg.Level().ForceSerial() {
 			dec.Mapping = partition.Serial()
 			serialFrame = 1
 			res.Stats.SerialFallbacks++
@@ -311,44 +524,55 @@ func serveOne(si int, sc Config, n int, ctl *controller, pool *parallel.Pool, te
 		}
 		f := sc.Source(i)
 		if f == nil {
-			res.Err = fmt.Errorf("frame %d: source returned nil frame", i)
-			return res
+			return i, false, fmt.Errorf("frame %d: source returned nil frame", i)
 		}
-		var rep pipeline.Report
-		var perr error
-		if err := pool.Do(func() { rep, perr = eng.Process(f, dec.Mapping) }); err != nil {
-			res.Err = err
-			return res
+		rep, perr, doErr, outcome := r.runProcess(f, dec.Mapping)
+		switch outcome {
+		case procAbandoned:
+			r.recordLostFrame(i, float64(d.Cores), serialFrame, false)
+			continue
+		case procStalled:
+			return i, true, fmt.Errorf("frame %d: stalled past %v ms wall clock; engine unusable", i, r.cfg.StallMs)
+		}
+		if doErr != nil {
+			return i, false, doErr
 		}
 		if perr != nil {
-			res.Err = fmt.Errorf("frame %d: %w", i, perr)
-			return res
+			var te *pipeline.TaskError
+			if errors.As(perr, &te) {
+				// A recovered task panic fails the frame, not the stream.
+				r.recordLostFrame(i, float64(d.Cores), serialFrame, true)
+				tel.taskPanic()
+				continue
+			}
+			return i, false, fmt.Errorf("frame %d: %w", i, perr)
 		}
-		if res.Stats.Processed == 0 && mgr.BudgetMs <= 0 {
-			mgr.InitBudget(rep.LatencyMs)
-			res.Stats.BudgetMs = mgr.BudgetMs
-			ctl.setBudgetMs(si, mgr.BudgetMs)
+		if res.Stats.Processed == 0 && r.mgr.BudgetMs <= 0 {
+			r.mgr.InitBudget(rep.LatencyMs)
+			res.Stats.BudgetMs = r.mgr.BudgetMs
+			r.ctl.setBudgetMs(r.si, r.mgr.BudgetMs)
 		}
-		mgr.Observe(core.FromReports([]pipeline.Report{rep}, sc.FramePixels)[0])
+		r.mgr.Observe(core.FromReports([]pipeline.Report{rep}, sc.FramePixels)[0])
 
 		res.Stats.Processed++
+		r.sinceRestart++
 		res.Reports = append(res.Reports, rep)
-		latencySum += rep.LatencyMs
+		r.latencySum += rep.LatencyMs
 		if rep.LatencyMs > res.Stats.WorstLatencyMs {
 			res.Stats.WorstLatencyMs = rep.LatencyMs
 		}
 		missed := 0.0
-		if mgr.BudgetMs > 0 && rep.LatencyMs > mgr.BudgetMs {
+		if r.mgr.BudgetMs > 0 && rep.LatencyMs > r.mgr.BudgetMs {
 			res.Stats.DeadlineMisses++
 			missed = 1
 		}
 		if len(rep.AccountingErrs) > 0 {
 			res.Stats.AccountingErrs++
 		}
+		r.observeOutcome(missed == 0)
 		tel.processed(rep.LatencyMs, missed == 1, len(rep.AccountingErrs) > 0)
-		if err := tr.Append(rep.LatencyMs, dec.PredictedMs, float64(d.Cores), missed, 0, serialFrame); err != nil {
-			res.Err = err
-			return res
+		if err := tr.Append(rep.LatencyMs, dec.PredictedMs, float64(d.Cores), missed, 0, serialFrame, 0, 0); err != nil {
+			return i, false, err
 		}
 		// Feed the arbiter the Triple-C demand for the scenario the stream
 		// is currently in (see Manager.PredictedDemandMs): unlike Plan's
@@ -356,18 +580,40 @@ func serveOne(si int, sc Config, n int, ctl *controller, pool *parallel.Pool, te
 		// successor and so never drops for a stream stuck in a cheap
 		// degenerate mode — this signal adapts online per task and lets the
 		// controller shift cores between unequal streams.
-		demand := mgr.PredictedDemandMs()
+		demand := r.mgr.PredictedDemandMs()
 		if demand <= 0 {
 			demand = rep.LatencyMs
 		}
 		tel.demand(demand)
-		ctl.report(si, demand)
+		r.ctl.report(r.si, demand)
 	}
-	if res.Stats.Processed > 0 {
-		res.Stats.MeanLatencyMs = latencySum / float64(res.Stats.Processed)
+	return r.n, false, nil
+}
+
+// recordLostFrame accounts a frame that was offered but neither processed
+// nor skipped: failed (recovered task panic, fatal crash) or abandoned
+// (watchdog). Trace-append errors here are swallowed — the frame is already
+// lost and the loop continues on the next one.
+func (r *runner) recordLostFrame(i int, cores, serialFrame float64, taskFailure bool) {
+	failed, abandoned := 0.0, 1.0
+	if taskFailure {
+		failed, abandoned = 1.0, 0.0
+		r.res.Stats.Failed++
+		r.tel.failedFrame()
+	} else {
+		r.res.Stats.Abandoned++
+		r.tel.abandoned()
 	}
-	res.Stats.BudgetMs = mgr.BudgetMs
-	return res
+	r.sinceRestart++
+	r.observeOutcome(false)
+	_ = r.res.Trace.Append(0, 0, cores, 0, 0, serialFrame, failed, abandoned)
+}
+
+// observeOutcome feeds the degradation ladder and publishes rung changes.
+func (r *runner) observeOutcome(ok bool) {
+	if r.deg.Observe(ok) {
+		r.tel.qualityChanged(r.deg.Level())
+	}
 }
 
 func clamp(v, lo, hi int) int {

@@ -1,11 +1,13 @@
 package stream
 
 import (
+	"math"
 	"strings"
 	"testing"
 
 	"triplec/internal/experiments"
 	"triplec/internal/frame"
+	"triplec/internal/pipeline"
 	"triplec/internal/sched"
 	"triplec/internal/synth"
 )
@@ -85,6 +87,31 @@ func TestNewServerValidation(t *testing.T) {
 	broken.BudgetMs = -1
 	if _, err := NewServer(ServerConfig{}, []Config{broken}); err == nil {
 		t.Fatal("negative budget accepted")
+	}
+	broken = cfg
+	broken.BudgetMs = math.NaN()
+	if _, err := NewServer(ServerConfig{}, []Config{broken}); err == nil {
+		t.Fatal("NaN budget accepted")
+	}
+	broken = cfg
+	broken.BudgetMs = math.Inf(1)
+	if _, err := NewServer(ServerConfig{}, []Config{broken}); err == nil {
+		t.Fatal("infinite budget accepted")
+	}
+	for _, bad := range []ServerConfig{
+		{WatchdogMs: -1},
+		{WatchdogMs: math.NaN()},
+		{StallMs: -1},
+		{WatchdogMs: 50, StallMs: 20}, // stall bound below the watchdog
+		{Supervise: true, MaxRestarts: -1},
+		{Supervise: true, RestartBudget: -1},
+		{Supervise: true, BackoffMs: -1},
+		{Supervise: true, MaxBackoffMs: math.NaN()},
+		{Degrade: true, Degrader: pipeline.DegraderConfig{MinDwell: -1}},
+	} {
+		if _, err := NewServer(bad, []Config{cfg}); err == nil {
+			t.Fatalf("invalid server config accepted: %+v", bad)
+		}
 	}
 	srv, err := NewServer(ServerConfig{}, []Config{cfg})
 	if err != nil {
@@ -293,7 +320,7 @@ func TestMergedTrace(t *testing.T) {
 	if _, err := merged.Get("y_missed"); err != nil {
 		t.Fatal(err)
 	}
-	if got := len(merged.Names()); got != 12 {
-		t.Fatalf("merged trace has %d columns, want 12", got)
+	if got := len(merged.Names()); got != 16 {
+		t.Fatalf("merged trace has %d columns, want 16 (8 per stream)", got)
 	}
 }

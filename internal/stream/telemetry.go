@@ -28,6 +28,16 @@ type telemetry struct {
 	planSerialMs    *metrics.Gauge
 	plans           *metrics.Counter
 
+	// Robustness instruments (restart supervisor, watchdog, fault boundary,
+	// degradation ladder).
+	restarts        *metrics.Counter
+	quarantines     *metrics.Counter
+	failedFrames    *metrics.Counter
+	abandonedFrames *metrics.Counter
+	taskPanics      *metrics.Counter
+	degradations    *metrics.Counter
+	qualityLevel    *metrics.Gauge
+
 	// Per-scenario resource forecasts at the stream's modeled geometry,
 	// indexed by flowgraph.Scenario.Index(): the predicted-vs-actual
 	// scenario pair maps to a bandwidth and cache-occupation model error
@@ -44,6 +54,7 @@ const (
 	streamServing
 	streamDone
 	streamFailed
+	streamQuarantined
 )
 
 // streamLabel names stream i for instruments and health reports.
@@ -78,6 +89,34 @@ func newTelemetry(reg *metrics.Registry, sc Config, i int) (*telemetry, error) {
 	}
 	if t.plans, err = reg.NewCounter("triplec_plans_total",
 		"Runtime-manager planning decisions taken.", sl); err != nil {
+		return nil, err
+	}
+	if t.restarts, err = reg.NewCounter("triplec_stream_restarts_total",
+		"Supervisor restarts of the stream's serving loop.", sl); err != nil {
+		return nil, err
+	}
+	if t.quarantines, err = reg.NewCounter("triplec_stream_quarantines_total",
+		"Streams retired after exhausting their restart policy.", sl); err != nil {
+		return nil, err
+	}
+	if t.failedFrames, err = reg.NewCounter("triplec_frames_failed_total",
+		"Frames lost to a recovered task panic or serving-loop crash.", sl); err != nil {
+		return nil, err
+	}
+	if t.abandonedFrames, err = reg.NewCounter("triplec_frames_abandoned_total",
+		"Frames given up past the wall-clock watchdog deadline.", sl); err != nil {
+		return nil, err
+	}
+	if t.taskPanics, err = reg.NewCounter("triplec_task_panics_total",
+		"Task panics recovered by the pipeline fault boundary.", sl); err != nil {
+		return nil, err
+	}
+	if t.degradations, err = reg.NewCounter("triplec_quality_degradations_total",
+		"Degradation-ladder transitions, in either direction.", sl); err != nil {
+		return nil, err
+	}
+	if t.qualityLevel, err = reg.NewGauge("triplec_quality_level",
+		"Current degradation rung (0 = full quality, 4 = serial fallback).", sl); err != nil {
 		return nil, err
 	}
 
@@ -211,4 +250,62 @@ func (t *telemetry) demand(predictedMs float64) {
 		return
 	}
 	t.acct.PredictedDemandMs.Set(predictedMs)
+}
+
+func (t *telemetry) failedFrame() {
+	if t == nil {
+		return
+	}
+	t.failedFrames.Inc()
+}
+
+func (t *telemetry) abandoned() {
+	if t == nil {
+		return
+	}
+	t.abandonedFrames.Inc()
+}
+
+func (t *telemetry) taskPanic() {
+	if t == nil {
+		return
+	}
+	t.taskPanics.Inc()
+}
+
+func (t *telemetry) restarted() {
+	if t == nil {
+		return
+	}
+	t.restarts.Inc()
+}
+
+func (t *telemetry) quarantined(err error) {
+	if t == nil {
+		return
+	}
+	if err != nil {
+		t.errMsg.Store(err.Error())
+	}
+	t.quarantines.Inc()
+	t.state.Store(streamQuarantined)
+}
+
+func (t *telemetry) qualityChanged(q pipeline.Quality) {
+	if t == nil {
+		return
+	}
+	t.degradations.Inc()
+	t.qualityLevel.Set(float64(q))
+}
+
+// rewire threads the telemetry hot paths through a rebuilt engine+manager
+// pair after a stall, carrying the instrument set over from the old manager.
+func (t *telemetry) rewire(eng *pipeline.Engine, mgr *sched.Manager, old *sched.Manager) {
+	if t == nil {
+		return
+	}
+	eng.SetObserver(t.observeReport)
+	mgr.Predictor().SetMetricsSink(t)
+	mgr.Metrics = old.Metrics
 }

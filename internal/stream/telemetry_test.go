@@ -95,9 +95,10 @@ func TestTelemetryPopulatesDuringRun(t *testing.T) {
 	}
 }
 
-// TestTelemetryDuplicateStreamNames: instruments are labeled by stream name,
-// so duplicate (or colliding defaulted) names must be rejected up front
-// rather than failing at scrape time.
+// TestTelemetryDuplicateStreamNames: stream names label instruments and
+// health reports, so duplicates are rejected up front — with or without
+// telemetry — rather than failing at scrape time or producing ambiguous
+// health entries.
 func TestTelemetryDuplicateStreamNames(t *testing.T) {
 	s := testStudy()
 	a := mkStream(t, s, "same", 3, 0)
@@ -105,9 +106,13 @@ func TestTelemetryDuplicateStreamNames(t *testing.T) {
 	if _, err := NewServer(ServerConfig{Metrics: metrics.NewRegistry()}, []Config{a, b}); err == nil {
 		t.Fatal("duplicate stream names accepted with telemetry enabled")
 	}
-	// Without telemetry duplicate names stay legal.
+	if _, err := NewServer(ServerConfig{}, []Config{a, b}); err == nil {
+		t.Fatal("duplicate stream names accepted without telemetry")
+	}
+	// Unnamed streams never collide (they default to stream<i> labels).
+	a.Name, b.Name = "", ""
 	if _, err := NewServer(ServerConfig{}, []Config{a, b}); err != nil {
-		t.Fatalf("duplicate names rejected without telemetry: %v", err)
+		t.Fatalf("unnamed streams rejected: %v", err)
 	}
 }
 
