@@ -1,8 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"os"
 	"runtime"
 
 	"triplec/internal/core"
@@ -11,6 +14,7 @@ import (
 	"triplec/internal/metrics"
 	"triplec/internal/pipeline"
 	"triplec/internal/sched"
+	"triplec/internal/span"
 	"triplec/internal/stream"
 	"triplec/internal/tasks"
 )
@@ -44,6 +48,9 @@ func runChaos(args []string) error {
 	maxRestarts := fs.Int("max-restarts", 3, "consecutive no-progress crashes before quarantine")
 	restartBudget := fs.Int("restart-budget", 4, "total restarts per stream before quarantine")
 	maxMissRate := fs.Float64("max-miss-rate", 1, "fail if a healthy stream's deadline-miss rate exceeds this")
+	jsonOut := fs.Bool("json", false, "emit the survival stats as JSON on stdout (progress goes to stderr)")
+	traceDir := fs.String("trace-dir", "", "enable span tracing; write triggered flight-recorder dumps into this directory")
+	breaker := fs.Bool("breaker", false, "gate optional tasks on faulted streams behind per-task circuit breakers")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,6 +59,12 @@ func runChaos(args []string) error {
 	}
 	if *faulted < 0 || *faulted > *streams {
 		return fmt.Errorf("chaos: -faulted %d outside [0, %d]", *faulted, *streams)
+	}
+	// With -json, stdout carries exactly one JSON document; everything
+	// human-readable moves to stderr.
+	out := io.Writer(os.Stdout)
+	if *jsonOut {
+		out = os.Stderr
 	}
 
 	inj, err := fault.New(fault.Config{
@@ -65,16 +78,34 @@ func runChaos(args []string) error {
 		return err
 	}
 
+	// Span tracing: the injector reports every fired fault into the ring,
+	// and (with -breaker) each faulted stream's circuit breaker reports its
+	// trips, so a dump shows the fault that caused the frame it ruined.
+	var flight *span.FlightRecorder
+	if *traceDir != "" {
+		flight, err = span.NewFlightRecorder(*traceDir, span.DefaultTriggers())
+		if err != nil {
+			return err
+		}
+		rec := flight.Recorder()
+		inj.SetOnFault(func(si int, task tasks.Name, frameIdx int, kind fault.Kind) {
+			rec.Emit(span.Event{
+				Kind: span.KindFault, Stream: int32(si), Frame: int32(frameIdx),
+				Task: int32(tasks.IndexOf(task)), Scenario: -1, Arg0: float64(kind),
+			})
+		})
+	}
+
 	study := experiments.DefaultStudy()
 	study.TrainSeqs = *train
 	study.TrainFrames = 60
 
-	fmt.Printf("training Triple-C on %d sequences x %d frames...\n", study.TrainSeqs, study.TrainFrames)
+	fmt.Fprintf(out, "training Triple-C on %d sequences x %d frames...\n", study.TrainSeqs, study.TrainFrames)
 	// One stream's engine+manager pair around a stream-private predictor
 	// (predictors are stateful and single-goroutine, like managers); the
 	// supervisor calls the closure again after a stall, re-wiring the
-	// injector hook exactly like the first build.
-	build := func(p *core.Predictor, hook func(task tasks.Name, frameIdx int)) (*pipeline.Engine, *sched.Manager, error) {
+	// injector hook and breaker gate exactly like the first build.
+	build := func(p *core.Predictor, hook func(task tasks.Name, frameIdx int), gate *fault.Breaker) (*pipeline.Engine, *sched.Manager, error) {
 		eng, err := study.Engine()
 		if err != nil {
 			return nil, nil, err
@@ -87,6 +118,9 @@ func runChaos(args []string) error {
 		if hook != nil {
 			eng.SetTaskHook(hook)
 		}
+		if gate != nil {
+			eng.SetGate(gate)
+		}
 		return eng, mgr, nil
 	}
 
@@ -96,11 +130,27 @@ func runChaos(args []string) error {
 		if i < *faulted {
 			hook = inj.ForStream(i).BeforeTask
 		}
+		var gate *fault.Breaker
+		if *breaker && i < *faulted {
+			gate, err = fault.NewBreaker(fault.BreakerConfig{})
+			if err != nil {
+				return err
+			}
+			if flight != nil {
+				rec, si := flight.Recorder(), i
+				gate.OnTrip = func(task tasks.Name) {
+					rec.Emit(span.Event{
+						Kind: span.KindBreakerTrip, Stream: int32(si), Frame: -1,
+						Task: int32(tasks.IndexOf(task)), Scenario: -1,
+					})
+				}
+			}
+		}
 		p, err := study.TrainPredictor()
 		if err != nil {
 			return err
 		}
-		eng, mgr, err := build(p, hook)
+		eng, mgr, err := build(p, hook, gate)
 		if err != nil {
 			return err
 		}
@@ -121,7 +171,7 @@ func runChaos(args []string) error {
 			Source:      src,
 			FramePixels: study.FramePixels(),
 			Rebuild: func() (*pipeline.Engine, *sched.Manager, error) {
-				return build(p, hook)
+				return build(p, hook, gate)
 			},
 		}
 	}
@@ -141,12 +191,13 @@ func runChaos(args []string) error {
 		RestartBudget: *restartBudget,
 		Degrade:       true,
 		Metrics:       reg,
+		Flight:        flight,
 	}, cfgs)
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("chaos: %d streams (%d faulted) x %d frames on %d host cores, plan panic=%.0f%% hang=%.0f%% spike=%.0f%% corrupt=%.0f%%\n",
+	fmt.Fprintf(out, "chaos: %d streams (%d faulted) x %d frames on %d host cores, plan panic=%.0f%% hang=%.0f%% spike=%.0f%% corrupt=%.0f%%\n",
 		*streams, *faulted, *frames, runtime.GOMAXPROCS(0),
 		100**panicProb, 100**hangProb, 100**spikeProb, 100**corruptProb)
 	res, runErr := srv.Run(*frames)
@@ -155,10 +206,19 @@ func runChaos(args []string) error {
 	}
 
 	counts := inj.Counts()
-	fmt.Printf("\ninjected faults: %v\n\n", counts)
-	fmt.Printf("%-10s %9s %7s %7s %9s %7s %8s %11s %6s %11s %s\n",
+	fmt.Fprintf(out, "\ninjected faults: %v\n\n", counts)
+	fmt.Fprintf(out, "%-10s %9s %7s %7s %9s %7s %8s %11s %6s %11s %s\n",
 		"stream", "processed", "skipped", "failed", "abandoned", "misses", "restarts", "recover(ms)", "qual", "missrate", "state")
 	var failures []string
+	report := chaosReport{
+		Seed: *seed, Streams: make([]chaosStreamReport, 0, len(res.Streams)),
+		Faults: chaosFaults{
+			Panics: counts.Panics, Hangs: counts.Hangs,
+			Spikes: counts.Spikes, Corrupted: counts.Corrupted,
+		},
+		AggregateFPS: res.AggregateFPS, WallMs: res.WallMs,
+		Rebalances: res.Rebalances, FinalBudgets: res.FinalBudgets,
+	}
 	for i, s := range res.Streams {
 		st := s.Stats
 		state := "ok"
@@ -167,9 +227,21 @@ func runChaos(args []string) error {
 		} else if s.Err != nil {
 			state = "error"
 		}
-		fmt.Printf("%-10s %9d %7d %7d %9d %7d %8d %11.1f %6d %11.3f %s\n",
+		fmt.Fprintf(out, "%-10s %9d %7d %7d %9d %7d %8d %11.1f %6d %11.3f %s\n",
 			st.Name, st.Processed, st.Skipped, st.Failed, st.Abandoned, st.DeadlineMisses,
 			st.Restarts, st.MeanRecoveryMs, int(st.FinalQuality), st.MissRate(), state)
+		sr := chaosStreamReport{
+			Name: st.Name, Healthy: i >= *faulted, State: state,
+			Offered: st.Offered, Processed: st.Processed, Skipped: st.Skipped,
+			Failed: st.Failed, Abandoned: st.Abandoned,
+			DeadlineMisses: st.DeadlineMisses, MissRate: st.MissRate(),
+			Restarts: st.Restarts, MeanRecoveryMs: st.MeanRecoveryMs,
+			Quality: int(st.FinalQuality), Quarantined: st.Quarantined,
+		}
+		if s.Err != nil {
+			sr.Error = s.Err.Error()
+		}
+		report.Streams = append(report.Streams, sr)
 
 		if got := st.Processed + st.Skipped + st.Failed + st.Abandoned; got != st.Offered {
 			failures = append(failures, fmt.Sprintf(
@@ -186,18 +258,78 @@ func runChaos(args []string) error {
 			}
 		}
 	}
-	fmt.Printf("\naggregate: %.1f frames/s over %.0f ms wall clock, %d rebalances, final core split %v\n",
+	fmt.Fprintf(out, "\naggregate: %.1f frames/s over %.0f ms wall clock, %d rebalances, final core split %v\n",
 		res.AggregateFPS, res.WallMs, res.Rebalances, res.FinalBudgets)
 
+	if flight != nil {
+		report.Dumps = flight.Dumps()
+		fmt.Fprintf(out, "flight recorder: %d dump(s) in %s\n", len(report.Dumps), flight.Dir())
+		for _, d := range report.Dumps {
+			fmt.Fprintf(out, "  %s  reason=%s stream=%d frame=%d frames=%d events=%d\n",
+				d.File, d.Reason, d.Stream, d.Frame, d.Frames, d.Events)
+		}
+		if err := flight.Err(); err != nil {
+			failures = append(failures, fmt.Sprintf("flight recorder: %v", err))
+		}
+	}
 	if runErr != nil {
-		fmt.Printf("run result: %v\n", runErr)
+		fmt.Fprintf(out, "run result: %v\n", runErr)
+	}
+	report.Failures = failures
+	report.Contained = len(failures) == 0
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
 	}
 	if len(failures) > 0 {
 		for _, f := range failures {
-			fmt.Println("FAIL:", f)
+			fmt.Fprintln(out, "FAIL:", f)
 		}
 		return fmt.Errorf("chaos: %d containment check(s) failed", len(failures))
 	}
-	fmt.Println("chaos run contained: no unrecovered panics, healthy streams within SLO")
+	fmt.Fprintln(out, "chaos run contained: no unrecovered panics, healthy streams within SLO")
 	return nil
+}
+
+// chaosReport is the -json output document: the survival stats the text
+// table prints, machine-readable for CI assertions.
+type chaosReport struct {
+	Seed         uint64              `json:"seed"`
+	Contained    bool                `json:"contained"`
+	Failures     []string            `json:"failures,omitempty"`
+	Streams      []chaosStreamReport `json:"streams"`
+	Faults       chaosFaults         `json:"faults"`
+	AggregateFPS float64             `json:"aggregate_fps"`
+	WallMs       float64             `json:"wall_ms"`
+	Rebalances   int                 `json:"rebalances"`
+	FinalBudgets []int               `json:"final_budgets"`
+	Dumps        []span.DumpInfo     `json:"dumps,omitempty"`
+}
+
+type chaosStreamReport struct {
+	Name           string  `json:"name"`
+	Healthy        bool    `json:"healthy"`
+	State          string  `json:"state"`
+	Offered        int     `json:"offered"`
+	Processed      int     `json:"processed"`
+	Skipped        int     `json:"skipped"`
+	Failed         int     `json:"failed"`
+	Abandoned      int     `json:"abandoned"`
+	DeadlineMisses int     `json:"deadline_misses"`
+	MissRate       float64 `json:"miss_rate"`
+	Restarts       int     `json:"restarts"`
+	MeanRecoveryMs float64 `json:"mean_recovery_ms"`
+	Quality        int     `json:"quality"`
+	Quarantined    bool    `json:"quarantined"`
+	Error          string  `json:"error,omitempty"`
+}
+
+type chaosFaults struct {
+	Panics    uint64 `json:"panics"`
+	Hangs     uint64 `json:"hangs"`
+	Spikes    uint64 `json:"spikes"`
+	Corrupted uint64 `json:"corrupted"`
 }

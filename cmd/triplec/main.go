@@ -9,8 +9,11 @@
 //	triplec [-frames n] [-seed s] [-train n] [-quiet]
 //	triplec serve [-streams n] [-frames n] [-cores n] [-csv out.csv]
 //	  [-metrics-addr host:port] [-linger d] [-metrics-csv out.csv]
+//	  [-budget-ms ms] [-trace-dir dir] [-trace-relerr r]
 //	triplec chaos [-streams n] [-faulted n] [-frames n] [-seed s]
-//	  [-panic-prob p] [-hang-prob p] [-max-miss-rate r]
+//	  [-panic-prob p] [-hang-prob p] [-max-miss-rate r] [-json]
+//	  [-trace-dir dir] [-breaker]
+//	triplec trace dump.json
 //
 // The serve subcommand runs the concurrent multi-stream serving layer: N
 // independent streams share the modeled machine under the global core
@@ -27,7 +30,15 @@
 // supervision, per-frame watchdogs and graceful degradation contain the
 // damage. It prints per-stream survival statistics (frames served, failed
 // and abandoned, deadline-miss rate, restarts, mean time to recover) and
-// exits non-zero if a fault escaped containment.
+// exits non-zero if a fault escaped containment; -json emits the stats as
+// machine-readable JSON on stdout instead.
+//
+// Both serving subcommands accept -trace-dir to enable the per-frame span
+// tracing layer (internal/span): an always-on flight recorder whose
+// triggered dumps (deadline miss, task panic, quarantine, prediction
+// error) land in the directory as Chrome trace-event JSON, loadable in
+// Perfetto. The trace subcommand renders such a dump as a text waterfall
+// with per-task prediction-error attribution.
 package main
 
 import (
@@ -54,6 +65,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "chaos" {
 		if err := runChaos(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "triplec chaos:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		if err := runTrace(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "triplec trace:", err)
 			os.Exit(1)
 		}
 		return

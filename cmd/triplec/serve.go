@@ -15,6 +15,7 @@ import (
 	"triplec/internal/experiments"
 	"triplec/internal/metrics"
 	"triplec/internal/sched"
+	"triplec/internal/span"
 	"triplec/internal/stream"
 	"triplec/internal/trace"
 )
@@ -43,6 +44,12 @@ func runServe(args []string) error {
 		"sample every registered instrument into this CSV during the run")
 	metricsEvery := fs.Duration("metrics-every", 250*time.Millisecond,
 		"sampling period for -metrics-csv")
+	budgetMs := fs.Float64("budget-ms", 0,
+		"per-frame latency budget in ms (0 = initialize from the first processed frame)")
+	traceDir := fs.String("trace-dir", "",
+		"enable per-frame span tracing; write triggered flight-recorder dumps (Chrome trace-event JSON) into this directory")
+	traceRelErr := fs.Float64("trace-relerr", 0.75,
+		"prediction relative-error trigger threshold for the flight recorder (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,6 +61,9 @@ func runServe(args []string) error {
 	}
 	if *metricsCSV != "" && *metricsEvery <= 0 {
 		return fmt.Errorf("serve: -metrics-every must be positive, got %v", *metricsEvery)
+	}
+	if *budgetMs < 0 {
+		return fmt.Errorf("serve: -budget-ms %v must be non-negative", *budgetMs)
 	}
 
 	study := experiments.DefaultStudy()
@@ -86,9 +96,20 @@ func runServe(args []string) error {
 			Manager:     mgr,
 			Source:      experiments.Source(seq),
 			FramePixels: study.FramePixels(),
+			BudgetMs:    *budgetMs,
 		}
 	}
 
+	var flight *span.FlightRecorder
+	if *traceDir != "" {
+		trig := span.DefaultTriggers()
+		trig.RelErr = *traceRelErr
+		fr, err := span.NewFlightRecorder(*traceDir, trig)
+		if err != nil {
+			return err
+		}
+		flight = fr
+	}
 	var reg *metrics.Registry
 	if *metricsAddr != "" || *metricsCSV != "" {
 		reg = metrics.NewRegistry()
@@ -99,6 +120,7 @@ func runServe(args []string) error {
 		RebalanceEvery: *rebalance,
 		SkipOver:       *skipOver,
 		Metrics:        reg,
+		Flight:         flight,
 	}, cfgs)
 	if err != nil {
 		return err
@@ -120,6 +142,9 @@ func runServe(args []string) error {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		if flight != nil {
+			mux.Handle("/debug/tracez", flight.TracezHandler())
+		}
 		httpSrv = &http.Server{Handler: mux}
 		go func() {
 			if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
@@ -197,6 +222,18 @@ func runServe(args []string) error {
 	}
 	fmt.Printf("\naggregate: %.1f frames/s over %.0f ms wall clock, %d rebalances, final core split %v\n",
 		res.AggregateFPS, res.WallMs, res.Rebalances, res.FinalBudgets)
+
+	if flight != nil {
+		dumps := flight.Dumps()
+		fmt.Printf("\nflight recorder: %d dump(s) in %s\n", len(dumps), flight.Dir())
+		for _, d := range dumps {
+			fmt.Printf("  %s  reason=%s stream=%d frame=%d frames=%d events=%d\n",
+				d.File, d.Reason, d.Stream, d.Frame, d.Frames, d.Events)
+		}
+		if err := flight.Err(); err != nil {
+			return err
+		}
+	}
 
 	if *csvPath != "" {
 		merged, err := res.MergedTrace()

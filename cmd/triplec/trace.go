@@ -1,0 +1,178 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"triplec/internal/span"
+)
+
+// runTrace implements the `triplec trace <dump.json>` subcommand: it parses
+// a flight-recorder dump and prints a per-frame text waterfall (task spans
+// scaled by their modeled execution time, deadline misses marked) followed
+// by the per-task prediction-error attribution — which tasks' Triple-C
+// predictions drifted, by how much, and how often the Markov scenario
+// forecast missed inside the captured window.
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	maxFrames := fs.Int("frames", 20, "waterfall only the last N frames (0 = all)")
+	wide := fs.Int("width", 48, "waterfall bar width in characters")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: triplec trace [-frames n] [-width w] <dump.json>")
+	}
+	if *wide < 8 {
+		return fmt.Errorf("trace: -width %d too narrow", *wide)
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	d, err := span.ReadDump(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("dump %s: trigger %s (stream %d, frame %d, detail %.3f, %d coalesced)\n",
+		fs.Arg(0), d.Reason, d.Stream, d.Frame, d.Detail, d.Coalesced)
+	fmt.Printf("%d frames, %d instants, %d orphan task spans in window\n\n",
+		len(d.Frames), len(d.Instants), d.OrphanTasks)
+
+	frames := d.Frames
+	if *maxFrames > 0 && len(frames) > *maxFrames {
+		frames = frames[len(frames)-*maxFrames:]
+		fmt.Printf("(waterfall truncated to the last %d frames; -frames 0 for all)\n\n", *maxFrames)
+	}
+
+	// Waterfall: each task bar is scaled by its modeled ms against the
+	// frame's total, positioned by cumulative modeled time — the latency
+	// the budget is charged against, which is what deadline attribution
+	// needs (wall-clock spans stay available in Perfetto).
+	for _, fr := range frames {
+		miss := ""
+		if fr.BudgetMs > 0 && fr.ActualMs > fr.BudgetMs {
+			miss = "  ** DEADLINE MISS **"
+		}
+		fmt.Printf("%s frame %d  [%s]  quality=%s cores=%d pred=%.2fms actual=%.2fms budget=%.2fms outcome=%s%s\n",
+			fr.Process, fr.Frame, fr.Scenario, fr.Quality, fr.Cores,
+			fr.PredictedMs, fr.ActualMs, fr.BudgetMs, fr.Outcome, miss)
+		total := fr.ActualMs
+		if total <= 0 {
+			for _, t := range fr.Tasks {
+				total += t.ActualMs
+			}
+		}
+		cum := 0.0
+		for _, t := range fr.Tasks {
+			off, bar := 0, 1
+			if total > 0 {
+				off = int(cum / total * float64(*wide))
+				bar = int(t.ActualMs / total * float64(*wide))
+				if bar < 1 {
+					bar = 1
+				}
+			}
+			drift := ""
+			if t.PredictedMs > 0 && t.ActualMs > 0 {
+				drift = fmt.Sprintf("  pred %.2f (%+.0f%%)", t.PredictedMs,
+					100*(t.PredictedMs-t.ActualMs)/t.ActualMs)
+			}
+			fmt.Printf("  %-12s |%s%s%s| %7.2fms x%d%s\n",
+				t.Name, strings.Repeat(" ", off), strings.Repeat("#", bar),
+				strings.Repeat(" ", max(0, *wide-off-bar)), t.ActualMs, t.Stripes, drift)
+			cum += t.ActualMs
+		}
+		fmt.Println()
+	}
+
+	printAttribution(d)
+	return nil
+}
+
+// taskErrStats accumulates one task's prediction-error profile.
+type taskErrStats struct {
+	name       string
+	n          int
+	sumSigned  float64 // mean signed rel-error: + = over-predicted
+	sumAbs     float64
+	worstAbs   float64
+	sumMsDrift float64 // summed (actual - predicted) ms: latency attributed
+}
+
+// printAttribution aggregates per-task prediction error over every task
+// span in the dump that carries both a prediction and an actual time.
+func printAttribution(d *span.Dump) {
+	byTask := map[string]*taskErrStats{}
+	scenarioMisses, frames := 0, 0
+	var missMs float64 // actual-vs-predicted latency on scenario-missed frames
+	for _, in := range d.Instants {
+		if in.Name == "scenario_miss" {
+			scenarioMisses++
+		}
+	}
+	missFrames := map[int]map[int]bool{} // pid -> frame set with a miss instant
+	for _, in := range d.Instants {
+		if in.Name == "scenario_miss" {
+			if missFrames[in.Pid] == nil {
+				missFrames[in.Pid] = map[int]bool{}
+			}
+			missFrames[in.Pid][in.Frame] = true
+		}
+	}
+	for _, fr := range d.Frames {
+		frames++
+		if missFrames[fr.Pid][fr.Frame] && fr.PredictedMs > 0 {
+			missMs += fr.ActualMs - fr.PredictedMs
+		}
+		for _, t := range fr.Tasks {
+			if t.PredictedMs <= 0 || t.ActualMs <= 0 {
+				continue
+			}
+			s := byTask[t.Name]
+			if s == nil {
+				s = &taskErrStats{name: t.Name}
+				byTask[t.Name] = s
+			}
+			rel := (t.PredictedMs - t.ActualMs) / t.ActualMs
+			s.n++
+			s.sumSigned += rel
+			s.sumAbs += math.Abs(rel)
+			if math.Abs(rel) > s.worstAbs {
+				s.worstAbs = math.Abs(rel)
+			}
+			s.sumMsDrift += t.ActualMs - t.PredictedMs
+		}
+	}
+
+	fmt.Println("per-task prediction-error attribution (predicted vs actual ms):")
+	if len(byTask) == 0 {
+		fmt.Println("  no task spans with prediction data in this window")
+	} else {
+		list := make([]*taskErrStats, 0, len(byTask))
+		for _, s := range byTask {
+			list = append(list, s)
+		}
+		sort.Slice(list, func(a, b int) bool {
+			return math.Abs(list[a].sumMsDrift) > math.Abs(list[b].sumMsDrift)
+		})
+		fmt.Printf("  %-12s %7s %11s %10s %10s %12s\n",
+			"task", "samples", "mean signed", "mean |e|", "worst |e|", "drift (ms)")
+		for _, s := range list {
+			fmt.Printf("  %-12s %7d %10.1f%% %9.1f%% %9.1f%% %12.2f\n",
+				s.name, s.n, 100*s.sumSigned/float64(s.n), 100*s.sumAbs/float64(s.n),
+				100*s.worstAbs, s.sumMsDrift)
+		}
+	}
+	fmt.Printf("\nscenario forecast: %d miss instant(s) across %d frames", scenarioMisses, frames)
+	if scenarioMisses > 0 {
+		fmt.Printf("; %+.2f ms total frame-latency drift on missed frames", missMs)
+	}
+	fmt.Println()
+}

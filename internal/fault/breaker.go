@@ -123,6 +123,11 @@ func (c *circuit) reset() {
 type Breaker struct {
 	cfg BreakerConfig
 
+	// OnTrip, when set before first use, observes every circuit opening —
+	// the span layer's breaker-trip instant. It runs under the breaker's
+	// lock and must not call back in or block.
+	OnTrip func(task tasks.Name)
+
 	mu    sync.Mutex
 	tasks map[tasks.Name]*circuit
 	trips uint64
@@ -189,6 +194,9 @@ func (b *Breaker) Record(task tasks.Name, ok bool) {
 			c.cooldown = b.cfg.OpenFrames
 			c.reset()
 			b.trips++
+			if b.OnTrip != nil {
+				b.OnTrip(task)
+			}
 		}
 	case BreakerHalfOpen:
 		if ok {
@@ -199,6 +207,9 @@ func (b *Breaker) Record(task tasks.Name, ok bool) {
 			c.cooldown = b.cfg.OpenFrames
 			c.probing = false
 			b.trips++
+			if b.OnTrip != nil {
+				b.OnTrip(task)
+			}
 		}
 	case BreakerOpen:
 		// A late outcome from a frame started before the trip: ignore.

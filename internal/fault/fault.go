@@ -107,6 +107,31 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// Kind classifies one injected fault for observation hooks.
+type Kind int
+
+// The injector's four fault classes.
+const (
+	KindPanic Kind = iota
+	KindHang
+	KindSpike
+	KindCorrupt
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPanic:
+		return "panic"
+	case KindHang:
+		return "hang"
+	case KindSpike:
+		return "spike"
+	case KindCorrupt:
+		return "corrupt"
+	}
+	return "unknown"
+}
+
 // InjectedPanic is the value an injected task panic carries, so chaos tests
 // and recovery paths can tell injected faults from genuine bugs.
 type InjectedPanic struct {
@@ -146,8 +171,9 @@ func (c Counts) String() string {
 // frame, and the late goroutine may still draw while the restarted stream
 // proceeds.
 type Injector struct {
-	cfg  Config
-	only map[tasks.Name]bool // nil = all tasks eligible
+	cfg    Config
+	only   map[tasks.Name]bool // nil = all tasks eligible
+	stream int                 // which stream this injector drives (ForStream)
 
 	mu  sync.Mutex
 	rng *stats.RNG
@@ -155,6 +181,12 @@ type Injector struct {
 	// counts is shared between a base injector and its ForStream children,
 	// so the base's Counts() aggregates the whole chaos run.
 	counts *counters
+
+	// onFault, when set (SetOnFault before ForStream), observes every fired
+	// fault — the span layer's injection instant. It runs on the injecting
+	// goroutine, immediately before the fault takes effect (before an
+	// injected panic unwinds), and must not block.
+	onFault func(stream int, task tasks.Name, frame int, kind Kind)
 
 	// sleep is swapped out by tests to keep chaos units fast.
 	sleep func(time.Duration)
@@ -192,8 +224,23 @@ func (in *Injector) ForStream(i int) *Injector {
 	}
 	child.rng = stats.NewRNG(in.cfg.Seed ^ (0x9e3779b97f4a7c15 * (uint64(i) + 1)))
 	child.counts = in.counts
+	child.onFault = in.onFault
+	child.stream = i
 	child.sleep = in.sleep
 	return child
+}
+
+// SetOnFault installs a hook observing every fired fault. Set it on the
+// base injector before deriving per-stream children; children inherit it.
+func (in *Injector) SetOnFault(fn func(stream int, task tasks.Name, frame int, kind Kind)) {
+	in.onFault = fn
+}
+
+// fired reports one fault to the observation hook.
+func (in *Injector) fired(task tasks.Name, frame int, kind Kind) {
+	if in.onFault != nil {
+		in.onFault(in.stream, task, frame, kind)
+	}
 }
 
 // probsFor resolves the fault mix for one task.
@@ -221,12 +268,15 @@ func (in *Injector) BeforeTask(task tasks.Name, frameIdx int) {
 	switch {
 	case u < p.Panic:
 		in.counts.panics.Add(1)
+		in.fired(task, frameIdx, KindPanic)
 		panic(InjectedPanic{Task: task, Frame: frameIdx})
 	case u < p.Panic+p.Hang:
 		in.counts.hangs.Add(1)
+		in.fired(task, frameIdx, KindHang)
 		in.sleep(time.Duration(in.cfg.HangMs * float64(time.Millisecond)))
 	case u < p.Panic+p.Hang+p.Spike:
 		in.counts.spikes.Add(1)
+		in.fired(task, frameIdx, KindSpike)
 		in.sleep(time.Duration(in.cfg.SpikeMs * float64(time.Millisecond)))
 	}
 }
@@ -258,6 +308,7 @@ func (in *Injector) WrapSource(src func(int) *frame.Frame) func(int) *frame.Fram
 			return f
 		}
 		in.counts.corrupted.Add(1)
+		in.fired("", i, KindCorrupt)
 		g := f.Clone()
 		in.mu.Lock()
 		for dy := 0; dy < rows; dy++ {

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentScrapeDuringRecording hammers the exposition path while
+// writers record and new instruments register — the exact interleaving a
+// Prometheus scraper produces against a live serving run. Run under -race
+// this pins the registry's snapshot/registration locking; functionally it
+// checks every scrape returns a parseable, internally consistent page.
+func TestConcurrentScrapeDuringRecording(t *testing.T) {
+	r := NewRegistry()
+	c, err := r.NewCounter("frames_total", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := r.NewGauge("budget_ms", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.NewHistogram("latency_ms", "", []float64{1, 10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler := Handler(r)
+
+	var stop atomic.Bool
+	var writers, readers sync.WaitGroup
+
+	// Writers: record as fast as possible until the scrapers are done.
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; !stop.Load(); i++ {
+				c.Inc()
+				g.Set(float64(i % 50))
+				h.Observe(float64(i % 200))
+			}
+		}()
+	}
+	// Registrar: keep adding instrument families mid-flight.
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for i := 0; i < 64; i++ {
+			name := "dynamic_" + string(rune('a'+i%26)) + "_total"
+			cc, err := r.NewCounter(name, "", L("i", string(rune('a'+i%26))))
+			if err == nil {
+				cc.Inc()
+			}
+		}
+	}()
+
+	// Scrapers: concurrent GET /metrics against the same registry.
+	const scrapers, scrapes = 4, 50
+	errs := make(chan string, scrapers*scrapes)
+	for s := 0; s < scrapers; s++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < scrapes; i++ {
+				rec := httptest.NewRecorder()
+				handler.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+				if rec.Code != 200 {
+					errs <- "scrape status " + rec.Result().Status
+					continue
+				}
+				body := rec.Body.String()
+				if !strings.Contains(body, "frames_total") {
+					errs <- "scrape missing frames_total"
+				}
+				// Histogram invariant: +Inf bucket must appear whenever the
+				// histogram family is rendered.
+				if strings.Contains(body, "latency_ms_bucket") &&
+					!strings.Contains(body, `le="+Inf"`) {
+					errs <- "histogram rendered without +Inf bucket"
+				}
+			}
+		}()
+	}
+
+	readers.Wait()
+	stop.Store(true)
+	writers.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"triplec/internal/frame"
 	"triplec/internal/parallel"
+	"triplec/internal/span"
 	"triplec/internal/tasks"
 )
 
@@ -61,6 +62,17 @@ func (e *Engine) SetTaskHook(fn func(task tasks.Name, frameIdx int)) { e.hook = 
 // gate removes it. Same single-goroutine contract as Process.
 func (e *Engine) SetGate(g TaskGate) { e.gate = g }
 
+// SetSpanBuilder installs the per-frame span staging buffer the engine
+// records task boundaries into (BeginFrame on Process entry, task spans in
+// enter/charge, suppression instants, AbortFrame on panic unwind). The
+// serving layer owns the builder and commits or abandons the staged frame
+// after Process returns. A nil builder removes it; every recording call is
+// nil-safe and allocation-free. Same single-goroutine contract as Process.
+func (e *Engine) SetSpanBuilder(b *span.FrameBuilder) { e.spans = b }
+
+// SpanBuilder returns the installed span staging buffer, if any.
+func (e *Engine) SpanBuilder() *span.FrameBuilder { return e.spans }
+
 // SetQuality sets the engine's quality level; Process suppresses the tasks
 // the level sheds (see Quality). Same single-goroutine contract as Process.
 func (e *Engine) SetQuality(q Quality) {
@@ -76,10 +88,12 @@ func (e *Engine) SetQuality(q Quality) {
 // Quality returns the engine's current quality level.
 func (e *Engine) Quality() Quality { return e.quality }
 
-// enter marks a task as executing (for panic attribution) and fires the
-// pre-task hook.
+// enter marks a task as executing (for panic attribution), opens its span
+// (before the hook, so an injected panic aborts an attributed open span),
+// and fires the pre-task hook.
 func (e *Engine) enter(name tasks.Name) {
 	e.inTask = name
+	e.spans.BeginTask(tasks.IndexOf(name))
 	if e.hook != nil {
 		e.hook(name, e.frameIdx)
 	}
@@ -90,10 +104,12 @@ func (e *Engine) enter(name tasks.Name) {
 func (e *Engine) allowTask(rep *Report, name tasks.Name) bool {
 	if e.quality.Sheds(name) {
 		rep.Suppressed = append(rep.Suppressed, name)
+		e.spans.Suppressed(tasks.IndexOf(name))
 		return false
 	}
 	if e.gate != nil && gatedTask(name) && !e.gate.Allow(name) {
 		rep.Suppressed = append(rep.Suppressed, name)
+		e.spans.Suppressed(tasks.IndexOf(name))
 		return false
 	}
 	return true
@@ -114,6 +130,7 @@ func (e *Engine) recoverFrame(r any, rep *Report, err *error) {
 	if e.gate != nil && gatedTask(failed) {
 		e.gate.Record(failed, false)
 	}
+	e.spans.AbortFrame()
 	*rep = Report{}
 	*err = te
 	e.frameIdx++

@@ -16,6 +16,7 @@ import (
 	"triplec/internal/memmodel"
 	"triplec/internal/partition"
 	"triplec/internal/platform"
+	"triplec/internal/span"
 	"triplec/internal/tasks"
 )
 
@@ -128,6 +129,7 @@ type Engine struct {
 	prevROI    frame.Rect
 
 	observer func(Report)
+	spans    *span.FrameBuilder // per-frame span staging; nil-safe when unset
 
 	// Fault boundary (see guard.go / degrade.go).
 	hook    func(task tasks.Name, frameIdx int)
@@ -223,6 +225,7 @@ func (e *Engine) charge(rep *Report, name tasks.Name, cost platform.Cost, rdgOn 
 	ms := e.machine.StripedMs(cost, k)
 	rep.Execs = append(rep.Execs, TaskExec{Task: name, Cost: cost, Stripes: k, Ms: ms})
 	rep.LatencyMs += ms
+	e.spans.EndTask(ms, k)
 	// Reaching charge means the task completed: feed the breaker a success
 	// (failures are recorded by recoverFrame before the charge is reached).
 	if e.gate != nil && gatedTask(name) {
@@ -252,6 +255,7 @@ func (e *Engine) Process(f *frame.Frame, m partition.Mapping) (rep Report, err e
 			e.recoverFrame(r, &rep, &err)
 		}
 	}()
+	e.spans.BeginFrame(e.frameIdx)
 	// Nine task slots at most (detect, rdg, mkx, cpls, reg, roi, gw, enh,
 	// zoom); preallocating keeps the per-frame loop free of append growth.
 	rep = Report{Index: e.frameIdx, Mapping: m, Quality: e.quality, Execs: make([]TaskExec, 0, 9)}

@@ -143,6 +143,11 @@ type MultiManager struct {
 	// Metrics, when set, publishes every applied re-division (see
 	// MultiMetrics). Mutate only before the first Rebalance.
 	Metrics *MultiMetrics
+	// OnRebalance, when set, is invoked after every applied re-division with
+	// the previous and new per-stream core budgets (the span layer's
+	// rebalance instant). It runs under the manager's lock and must not call
+	// back into the MultiManager. Mutate only before the first Rebalance.
+	OnRebalance func(before, after []int)
 
 	mu         sync.Mutex
 	totalCores int
@@ -237,6 +242,11 @@ func (mm *MultiManager) rebalanceLocked() {
 	if err != nil {
 		return
 	}
+	var before []int
+	if mm.OnRebalance != nil {
+		before = make([]int, len(mm.budgets))
+		copy(before, mm.budgets)
+	}
 	for i := range mm.budgets {
 		mm.budgets[i] = 0
 	}
@@ -251,6 +261,9 @@ func (mm *MultiManager) rebalanceLocked() {
 				m.CoreAllocation[i].Set(float64(cores))
 			}
 		}
+	}
+	if mm.OnRebalance != nil {
+		mm.OnRebalance(before, mm.budgets)
 	}
 }
 

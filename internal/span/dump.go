@@ -1,0 +1,352 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Chrome trace-event JSON (the "JSON Object Format" Perfetto and
+// chrome://tracing load): a traceEvents array of complete spans (ph "X",
+// ts/dur in microseconds), instants (ph "i") and metadata records (ph
+// "M"), keyed by pid/tid. We map one stream to one pid (stream+1, pid 0
+// reserved for global events) and carry every domain field in args so the
+// reader — and a human in the Perfetto UI — can recover frame, task,
+// scenario, quality and predicted-vs-actual timing per span.
+
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	Cat   string         `json:"cat,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+	TraceEvents     []traceEvent   `json:"traceEvents"`
+}
+
+type dumpHeader struct {
+	Reason    string
+	Stream    int
+	Frame     int
+	Detail    float64
+	Coalesced int
+}
+
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+func pidOf(stream int32) int { return int(stream) + 1 } // -1 (global) -> 0
+
+// WriteDump renders a ring snapshot as Chrome trace-event JSON.
+func WriteDump(w io.Writer, meta Meta, events []Event, hdr dumpHeader) error {
+	tf := traceFile{
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"format":    "triplec-flight-recorder-v1",
+			"reason":    hdr.Reason,
+			"stream":    hdr.Stream,
+			"frame":     hdr.Frame,
+			"detail":    hdr.Detail,
+			"coalesced": hdr.Coalesced,
+		},
+		TraceEvents: make([]traceEvent, 0, len(events)+len(meta.Streams)+1),
+	}
+
+	// Process-name metadata: one per stream plus the global pseudo-process.
+	tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+		Name: "process_name", Ph: "M", Pid: 0,
+		Args: map[string]any{"name": "global"},
+	})
+	for i, name := range meta.Streams {
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "process_name", Ph: "M", Pid: i + 1,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	for i := range events {
+		ev := &events[i]
+		te := traceEvent{Pid: pidOf(ev.Stream), Ts: usec(ev.StartNs)}
+		args := map[string]any{"frame": int(ev.Frame)}
+		switch ev.Kind {
+		case KindFrame:
+			te.Ph, te.Cat = "X", "frame"
+			te.Dur = usec(ev.DurNs)
+			te.Name = "frame " + itoa(int(ev.Frame))
+			args["scenario"] = label(meta.Scenarios, int(ev.Scenario), "scenario")
+			args["quality"] = label(meta.Qualities, int(ev.Quality), "q")
+			args["outcome"] = OutcomeName(ev.Outcome)
+			args["predicted_ms"] = ev.Arg0
+			args["actual_ms"] = ev.Arg1
+			args["budget_ms"] = ev.Arg2
+			args["cores"] = int(ev.Cores)
+		case KindTask:
+			te.Ph, te.Cat = "X", "task"
+			te.Tid = 1
+			te.Dur = usec(ev.DurNs)
+			te.Name = label(meta.Tasks, int(ev.Task), "task")
+			args["task"] = te.Name
+			args["predicted_ms"] = ev.Arg0
+			args["actual_ms"] = ev.Arg1
+			args["stripes"] = int(ev.Cores)
+			args["scenario"] = label(meta.Scenarios, int(ev.Scenario), "scenario")
+			args["quality"] = label(meta.Qualities, int(ev.Quality), "q")
+		case KindRebalance:
+			te.Ph, te.Cat, te.Scope = "i", "sched", "g"
+			te.Name = "rebalance"
+			args["before"] = UnpackBudgets(ev.Pack0, ev.Cores)
+			args["after"] = UnpackBudgets(ev.Pack1, ev.Cores)
+			delete(args, "frame")
+		case KindDegrade:
+			te.Ph, te.Cat, te.Scope = "i", "quality", "p"
+			te.Name = "degrade"
+			args["from"] = label(meta.Qualities, int(ev.Arg0), "q")
+			args["to"] = label(meta.Qualities, int(ev.Quality), "q")
+		case KindFault:
+			te.Ph, te.Cat, te.Scope = "i", "fault", "p"
+			te.Name = "fault:" + FaultName(int(ev.Arg0))
+			args["fault"] = FaultName(int(ev.Arg0))
+			if ev.Task >= 0 {
+				args["task"] = label(meta.Tasks, int(ev.Task), "task")
+			}
+		case KindBreakerTrip:
+			te.Ph, te.Cat, te.Scope = "i", "fault", "p"
+			te.Name = "breaker_trip"
+			if ev.Task >= 0 {
+				args["task"] = label(meta.Tasks, int(ev.Task), "task")
+			}
+		case KindScenarioMiss:
+			te.Ph, te.Cat, te.Scope = "i", "predict", "p"
+			te.Name = "scenario_miss"
+			args["predicted"] = label(meta.Scenarios, int(ev.Arg0), "scenario")
+			args["actual"] = label(meta.Scenarios, int(ev.Scenario), "scenario")
+		case KindSuppressed:
+			te.Ph, te.Cat, te.Scope = "i", "quality", "p"
+			te.Name = "suppressed"
+			if ev.Task >= 0 {
+				args["task"] = label(meta.Tasks, int(ev.Task), "task")
+			}
+		case KindTrigger:
+			te.Ph, te.Cat, te.Scope = "i", "flightrec", "g"
+			te.Name = "trigger:" + ReasonName(TriggerReason(ev.Outcome))
+			args["reason"] = ReasonName(TriggerReason(ev.Outcome))
+			args["detail"] = ev.Arg0
+		default: // skip, abandon, stall, restart, quarantine
+			te.Ph, te.Cat, te.Scope = "i", "lifecycle", "p"
+			te.Name = KindName(ev.Kind)
+		}
+		te.Args = args
+		tf.TraceEvents = append(tf.TraceEvents, te)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}
+
+// DumpTask is one task span recovered from a dump.
+type DumpTask struct {
+	Name        string
+	StartUs     float64
+	DurUs       float64
+	PredictedMs float64
+	ActualMs    float64
+	Stripes     int
+	Scenario    string
+	Quality     string
+}
+
+// DumpFrame is one frame root span with its child task spans.
+type DumpFrame struct {
+	Pid         int
+	Process     string
+	Frame       int
+	StartUs     float64
+	DurUs       float64
+	Scenario    string
+	Quality     string
+	Outcome     string
+	PredictedMs float64
+	ActualMs    float64
+	BudgetMs    float64
+	Cores       int
+	Tasks       []DumpTask
+}
+
+// DumpInstant is one instant event recovered from a dump.
+type DumpInstant struct {
+	Name    string
+	Cat     string
+	Pid     int
+	Process string
+	Frame   int
+	TsUs    float64
+	Args    map[string]any
+}
+
+// Dump is the parsed, validated form of a flight-recorder file.
+type Dump struct {
+	Reason    string
+	Stream    int
+	Frame     int
+	Detail    float64
+	Coalesced int
+	Processes map[int]string
+	Frames    []DumpFrame
+	Instants  []DumpInstant
+	// OrphanTasks counts task spans whose (pid, frame) matched no frame
+	// root — ring wraparound truncating the oldest frame's children.
+	OrphanTasks int
+}
+
+func argString(args map[string]any, key string) string {
+	if s, ok := args[key].(string); ok {
+		return s
+	}
+	return ""
+}
+
+func argFloat(args map[string]any, key string) float64 {
+	if f, ok := args[key].(float64); ok {
+		return f
+	}
+	return 0
+}
+
+func argInt(args map[string]any, key string) int {
+	return int(argFloat(args, key))
+}
+
+// ReadDump parses and validates a flight-recorder file. It is the parsing
+// core of `triplec trace` and the fuzz target: malformed input of any kind
+// must come back as an error, never a panic.
+func ReadDump(r io.Reader) (*Dump, error) {
+	dec := json.NewDecoder(r)
+	var tf traceFile
+	if err := dec.Decode(&tf); err != nil {
+		return nil, fmt.Errorf("span: decode dump: %w", err)
+	}
+	if tf.TraceEvents == nil {
+		return nil, fmt.Errorf("span: dump has no traceEvents array")
+	}
+
+	d := &Dump{
+		Reason:    argString(tf.OtherData, "reason"),
+		Stream:    argInt(tf.OtherData, "stream"),
+		Frame:     argInt(tf.OtherData, "frame"),
+		Detail:    argFloat(tf.OtherData, "detail"),
+		Coalesced: argInt(tf.OtherData, "coalesced"),
+		Processes: map[int]string{},
+	}
+
+	type frameKey struct {
+		pid, frame int
+	}
+	frames := map[frameKey]*DumpFrame{}
+	var order []frameKey
+	var tasks []struct {
+		key frameKey
+		t   DumpTask
+	}
+
+	for i := range tf.TraceEvents {
+		te := &tf.TraceEvents[i]
+		switch te.Ph {
+		case "M":
+			if te.Name == "process_name" {
+				d.Processes[te.Pid] = argString(te.Args, "name")
+			}
+		case "X":
+			if te.Name == "" {
+				return nil, fmt.Errorf("span: event %d: complete span with empty name", i)
+			}
+			if !finiteNonNeg(te.Ts) || !finiteNonNeg(te.Dur) {
+				return nil, fmt.Errorf("span: event %d (%s): bad ts/dur %v/%v", i, te.Name, te.Ts, te.Dur)
+			}
+			switch te.Cat {
+			case "frame":
+				key := frameKey{te.Pid, argInt(te.Args, "frame")}
+				f := &DumpFrame{
+					Pid:         te.Pid,
+					Frame:       key.frame,
+					StartUs:     te.Ts,
+					DurUs:       te.Dur,
+					Scenario:    argString(te.Args, "scenario"),
+					Quality:     argString(te.Args, "quality"),
+					Outcome:     argString(te.Args, "outcome"),
+					PredictedMs: argFloat(te.Args, "predicted_ms"),
+					ActualMs:    argFloat(te.Args, "actual_ms"),
+					BudgetMs:    argFloat(te.Args, "budget_ms"),
+					Cores:       argInt(te.Args, "cores"),
+				}
+				if _, dup := frames[key]; !dup {
+					order = append(order, key)
+				}
+				frames[key] = f
+			case "task":
+				tasks = append(tasks, struct {
+					key frameKey
+					t   DumpTask
+				}{
+					key: frameKey{te.Pid, argInt(te.Args, "frame")},
+					t: DumpTask{
+						Name:        te.Name,
+						StartUs:     te.Ts,
+						DurUs:       te.Dur,
+						PredictedMs: argFloat(te.Args, "predicted_ms"),
+						ActualMs:    argFloat(te.Args, "actual_ms"),
+						Stripes:     argInt(te.Args, "stripes"),
+						Scenario:    argString(te.Args, "scenario"),
+						Quality:     argString(te.Args, "quality"),
+					},
+				})
+			default:
+				return nil, fmt.Errorf("span: event %d (%s): unknown span category %q", i, te.Name, te.Cat)
+			}
+		case "i", "I":
+			if te.Name == "" {
+				return nil, fmt.Errorf("span: event %d: instant with empty name", i)
+			}
+			if !finiteNonNeg(te.Ts) {
+				return nil, fmt.Errorf("span: event %d (%s): bad ts %v", i, te.Name, te.Ts)
+			}
+			d.Instants = append(d.Instants, DumpInstant{
+				Name: te.Name, Cat: te.Cat, Pid: te.Pid,
+				Frame: argInt(te.Args, "frame"), TsUs: te.Ts, Args: te.Args,
+			})
+		case "":
+			return nil, fmt.Errorf("span: event %d: missing ph", i)
+		default:
+			return nil, fmt.Errorf("span: event %d: unsupported ph %q", i, te.Ph)
+		}
+	}
+
+	for _, rec := range tasks {
+		if f, ok := frames[rec.key]; ok {
+			f.Tasks = append(f.Tasks, rec.t)
+		} else {
+			d.OrphanTasks++
+		}
+	}
+	for _, key := range order {
+		f := frames[key]
+		f.Process = d.Processes[f.Pid]
+		sort.Slice(f.Tasks, func(a, b int) bool { return f.Tasks[a].StartUs < f.Tasks[b].StartUs })
+		d.Frames = append(d.Frames, *f)
+	}
+	sort.Slice(d.Frames, func(a, b int) bool { return d.Frames[a].StartUs < d.Frames[b].StartUs })
+	sort.Slice(d.Instants, func(a, b int) bool { return d.Instants[a].TsUs < d.Instants[b].TsUs })
+	return d, nil
+}
+
+func finiteNonNeg(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0) && f >= 0
+}

@@ -1,0 +1,159 @@
+package span
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"os"
+	"path/filepath"
+)
+
+// TracezHandler serves /debug/tracez: an HTML index of the flight-recorder
+// dumps written so far, and — with ?dump=<file> — an inline per-frame
+// waterfall of one dump. Only files the recorder itself wrote are served;
+// the query parameter is matched against the known dump list, never used
+// as a path.
+func (fr *FlightRecorder) TracezHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fr == nil {
+			http.Error(w, "flight recorder disabled", http.StatusNotFound)
+			return
+		}
+		if name := r.URL.Query().Get("dump"); name != "" {
+			fr.serveDump(w, name)
+			return
+		}
+		fr.serveIndex(w)
+	})
+}
+
+var indexTmpl = template.Must(template.New("index").Parse(`<!doctype html>
+<html><head><title>tracez</title><style>
+body{font-family:monospace;margin:2em}
+table{border-collapse:collapse}
+td,th{border:1px solid #ccc;padding:4px 10px;text-align:left}
+th{background:#eee}
+</style></head><body>
+<h1>flight-recorder dumps</h1>
+<p>dir: {{.Dir}} &middot; {{len .Dumps}} dump(s). Load a file in
+<a href="https://ui.perfetto.dev">ui.perfetto.dev</a> for the full timeline,
+or click through for an inline waterfall.</p>
+<table><tr><th>file</th><th>reason</th><th>stream</th><th>frame</th><th>detail</th><th>frames</th><th>events</th><th>coalesced</th><th>written</th></tr>
+{{range .Dumps}}<tr>
+<td><a href="?dump={{.File}}">{{.File}}</a></td>
+<td>{{.Reason}}</td><td>{{.Stream}}</td><td>{{.Frame}}</td>
+<td>{{printf "%.3f" .Detail}}</td><td>{{.Frames}}</td><td>{{.Events}}</td>
+<td>{{.Coalesced}}</td><td>{{.WrittenAt.Format "15:04:05.000"}}</td>
+</tr>{{end}}
+</table></body></html>
+`))
+
+var dumpTmpl = template.Must(template.New("dump").Parse(`<!doctype html>
+<html><head><title>tracez: {{.File}}</title><style>
+body{font-family:monospace;margin:2em}
+.frame{margin:1.2em 0;border-left:3px solid #888;padding-left:1em}
+.frame.missed{border-color:#c33}
+.bar{display:inline-block;height:10px;background:#48a}
+.bar.task{background:#8b4}
+.lane{white-space:nowrap}
+.lbl{display:inline-block;width:11em}
+.num{color:#666}
+</style></head><body>
+<p><a href="?">&larr; all dumps</a></p>
+<h1>{{.File}}</h1>
+<p>trigger: <b>{{.Dump.Reason}}</b> stream {{.Dump.Stream}} frame {{.Dump.Frame}}
+(detail {{printf "%.3f" .Dump.Detail}}, {{.Dump.Coalesced}} coalesced)
+&middot; {{len .Dump.Frames}} frames, {{len .Dump.Instants}} instants,
+{{.Dump.OrphanTasks}} orphan task spans</p>
+{{range .Frames}}
+<div class="frame{{if .Missed}} missed{{end}}">
+<b>{{.F.Process}}</b> frame {{.F.Frame}} &mdash; {{.F.Outcome}},
+scenario {{.F.Scenario}}, quality {{.F.Quality}}, {{.F.Cores}} cores,
+pred {{printf "%.2f" .F.PredictedMs}}ms / actual {{printf "%.2f" .F.ActualMs}}ms
+/ budget {{printf "%.2f" .F.BudgetMs}}ms{{if .Missed}} <b>MISS</b>{{end}}<br>
+{{range .Lanes}}<span class="lane"><span class="lbl">{{.Name}}</span><span style="margin-left:{{.OffPx}}px" class="bar task" title="{{.Title}}">&nbsp;</span> <span class="num">{{.Title}}</span></span><br>{{end}}
+</div>
+{{end}}
+</body></html>
+`))
+
+type tracezLane struct {
+	Name  string
+	OffPx int
+	Title string
+}
+
+type tracezFrame struct {
+	F      DumpFrame
+	Missed bool
+	Lanes  []tracezLane
+}
+
+func (fr *FlightRecorder) serveIndex(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	err := indexTmpl.Execute(w, struct {
+		Dir   string
+		Dumps []DumpInfo
+	}{fr.dir, fr.Dumps()})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (fr *FlightRecorder) serveDump(w http.ResponseWriter, name string) {
+	var info *DumpInfo
+	for _, d := range fr.Dumps() {
+		if d.File == name {
+			info = &d
+			break
+		}
+	}
+	if info == nil {
+		http.Error(w, "unknown dump", http.StatusNotFound)
+		return
+	}
+	f, err := os.Open(filepath.Join(fr.dir, filepath.Base(info.File)))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer f.Close()
+	d, err := ReadDump(f)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("parse dump: %v", err), http.StatusInternalServerError)
+		return
+	}
+
+	// Render at a fixed scale: 20px per millisecond of frame-relative
+	// offset, bar width folded into the offset margin (the bar itself is a
+	// fixed-height marker; the numbers carry the precision).
+	frames := make([]tracezFrame, 0, len(d.Frames))
+	for _, df := range d.Frames {
+		tf := tracezFrame{F: df, Missed: df.BudgetMs > 0 && df.ActualMs > df.BudgetMs}
+		for _, t := range df.Tasks {
+			off := int((t.StartUs - df.StartUs) / 1e3 * 20)
+			if off < 0 {
+				off = 0
+			}
+			if off > 600 {
+				off = 600
+			}
+			tf.Lanes = append(tf.Lanes, tracezLane{
+				Name:  t.Name,
+				OffPx: off,
+				Title: fmt.Sprintf("pred %.2fms actual %.2fms x%d", t.PredictedMs, t.ActualMs, t.Stripes),
+			})
+		}
+		frames = append(frames, tf)
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	err = dumpTmpl.Execute(w, struct {
+		File   string
+		Dump   *Dump
+		Frames []tracezFrame
+	}{info.File, d, frames})
+	if err != nil && w.Header().Get("Content-Type") != "" {
+		// Template errors mid-stream can't change the status; nothing to do.
+		_ = err
+	}
+}

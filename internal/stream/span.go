@@ -1,0 +1,160 @@
+package stream
+
+import (
+	"triplec/internal/flowgraph"
+	"triplec/internal/pipeline"
+	"triplec/internal/span"
+	"triplec/internal/tasks"
+)
+
+// This file threads the span/flight-recorder layer through the serving
+// loop. Each stream's serving goroutine owns one span.FrameBuilder bound
+// to its current engine; the builder is committed (or abandoned) by the
+// serving layer after every frame, and replaced together with the engine
+// after a stall — a poisoned engine's leaked goroutine may still write
+// into the old builder, so that builder is never committed again (the
+// same ownership rule the Engine concurrency contract imposes).
+
+// spanMeta builds the dump-time label tables from the stream set and the
+// fixed task/scenario/quality universes.
+func spanMeta(streams []Config) span.Meta {
+	m := span.Meta{
+		Streams:   make([]string, len(streams)),
+		Tasks:     make([]string, tasks.NumNames),
+		Scenarios: make([]string, 8),
+		Qualities: make([]string, int(pipeline.QualityMax)+1),
+	}
+	for i, sc := range streams {
+		m.Streams[i] = streamLabel(sc, i)
+	}
+	for i, tn := range tasks.AllNames() {
+		m.Tasks[i] = string(tn)
+	}
+	for i := range m.Scenarios {
+		m.Scenarios[i] = flowgraph.FromIndex(i).String()
+	}
+	for q := range m.Qualities {
+		m.Qualities[q] = pipeline.Quality(q).String()
+	}
+	return m
+}
+
+// spanSink fans the predictor's per-frame samples out to the telemetry
+// layer (when enabled) and into the open span frame: per-task predicted
+// times land on the staged task spans, and a scenario mismatch stages a
+// miss instant. The samples fire inside Manager.Observe on the serving
+// goroutine, after Process returned but before the frame commits — exactly
+// the window in which prediction data exists and the frame is still open.
+type spanSink struct {
+	tel *telemetry
+	r   *runner
+}
+
+func (s *spanSink) TaskSample(task tasks.Name, predictedMs, actualMs float64) {
+	if s.tel != nil {
+		s.tel.TaskSample(task, predictedMs, actualMs)
+	}
+	s.r.fb.SetPredicted(tasks.IndexOf(task), predictedMs)
+}
+
+func (s *spanSink) ScenarioSample(predicted, actual flowgraph.Scenario) {
+	if s.tel != nil {
+		s.tel.ScenarioSample(predicted, actual)
+	}
+	if predicted != actual {
+		s.r.fb.ScenarioMiss(predicted.Index(), actual.Index())
+	}
+}
+
+// attachSpans binds a fresh frame builder to the runner's current engine
+// and installs the fan-out metrics sink on its predictor. Called at stream
+// start and again after every supervisor rebuild (after telemetry rewire,
+// so the fan-out sink wins).
+func (r *runner) attachSpans() {
+	if r.cfg.Flight == nil {
+		return
+	}
+	r.fr = r.cfg.Flight
+	r.fb = span.NewFrameBuilder(r.fr.Recorder(), int32(r.si))
+	r.eng.SetSpanBuilder(r.fb)
+	r.mgr.Predictor().SetMetricsSink(&spanSink{tel: r.tel, r: r})
+}
+
+// spanInstant emits one frame-lifecycle instant for this stream.
+func (r *runner) spanInstant(kind span.Kind, frame int) {
+	if r.fr == nil {
+		return
+	}
+	r.fr.Recorder().Emit(span.Event{
+		Kind: kind, Stream: int32(r.si), Frame: int32(frame), Task: -1, Scenario: -1,
+	})
+}
+
+// spanSkip records a frame shed by the admission controller.
+func (r *runner) spanSkip(i int) { r.spanInstant(span.KindSkip, i) }
+
+// spanProcessed commits the processed frame's span group and feeds the
+// deadline/prediction outcome to the trigger engine. Allocation-free.
+func (r *runner) spanProcessed(i, scenario, quality, cores int, predictedMs, actualMs float64, missed bool) {
+	if r.fr == nil {
+		return
+	}
+	r.fb.Commit(i, scenario, quality, span.OutcomeProcessed, cores, predictedMs, actualMs, r.mgr.BudgetMs)
+	r.fr.ObserveFrame(r.si, i, missed, predictedMs, actualMs)
+}
+
+// spanFailed commits a frame lost to a recovered task panic (the engine's
+// guard already closed the in-flight task span) and arms the panic trigger.
+func (r *runner) spanFailed(i, cores int) {
+	if r.fr == nil {
+		return
+	}
+	r.fb.Commit(i, -1, int(r.deg.Level()), span.OutcomeFailed, cores, 0, 0, r.mgr.BudgetMs)
+	r.fr.ObservePanic(r.si, i)
+}
+
+// spanAbandon commits a frame given up past the watchdog. The late
+// goroutine has finished (its done channel closed before runProcess
+// returned procAbandoned), so the builder is safely ours again.
+func (r *runner) spanAbandon(i, cores int) {
+	if r.fr == nil {
+		return
+	}
+	r.spanInstant(span.KindAbandon, i)
+	r.fb.Commit(i, -1, int(r.deg.Level()), span.OutcomeAbandoned, cores, 0, 0, r.mgr.BudgetMs)
+}
+
+// spanStall records an engine poisoning and orphans the builder: the
+// stalled goroutine may still be writing into it, so it must never be
+// committed. The supervisor's rebuild attaches a fresh one.
+func (r *runner) spanStall(i int) {
+	if r.fr == nil {
+		return
+	}
+	r.spanInstant(span.KindStall, i)
+	r.fb = nil
+}
+
+// spanRestart records a supervisor restart of the serving loop.
+func (r *runner) spanRestart(failedAt int) { r.spanInstant(span.KindRestart, failedAt) }
+
+// spanQuarantine records the stream's retirement and arms the quarantine
+// trigger (the dump flushes at end of run if no more frames arrive).
+func (r *runner) spanQuarantine() {
+	if r.fr == nil {
+		return
+	}
+	r.spanInstant(span.KindQuarantine, -1)
+	r.fr.ObserveQuarantine(r.si, -1)
+}
+
+// spanDegrade records a quality-ladder transition.
+func (r *runner) spanDegrade(from, to pipeline.Quality) {
+	if r.fr == nil {
+		return
+	}
+	r.fr.Recorder().Emit(span.Event{
+		Kind: span.KindDegrade, Stream: int32(r.si), Frame: -1, Task: -1, Scenario: -1,
+		Quality: int32(to), Arg0: float64(from),
+	})
+}

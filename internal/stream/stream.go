@@ -34,6 +34,7 @@ import (
 	"triplec/internal/partition"
 	"triplec/internal/pipeline"
 	"triplec/internal/sched"
+	"triplec/internal/span"
 	"triplec/internal/trace"
 )
 
@@ -119,6 +120,15 @@ type ServerConfig struct {
 	// unique (empty names fall back to stream<i>). Expose the registry via
 	// metrics.Handler and the per-stream summary via Server.HealthHandler.
 	Metrics *metrics.Registry
+	// Flight, when set, enables per-frame span tracing into the flight
+	// recorder's always-on ring: frame root spans and task child spans with
+	// predicted-vs-actual times, plus instants for skips, abandons, stalls,
+	// restarts, quarantines, degradations and rebalances. Triggered dumps
+	// (deadline miss, task panic, quarantine, prediction error) land in the
+	// recorder's directory as Chrome trace-event JSON; Server.Run flushes
+	// any pending dump before returning. Recording on the steady-state
+	// frame path allocates nothing.
+	Flight *span.FlightRecorder
 }
 
 func (c ServerConfig) withDefaults(streams []Config) ServerConfig {
@@ -282,6 +292,9 @@ func NewServer(cfg ServerConfig, streams []Config) (*Server, error) {
 		}
 		srv.multiMetrics = &sched.MultiMetrics{Rebalances: rebalances, CoreAllocation: coreAlloc}
 	}
+	if cfg.Flight != nil {
+		cfg.Flight.SetMeta(spanMeta(streams))
+	}
 	return srv, nil
 }
 
@@ -297,6 +310,17 @@ func (s *Server) Run(n int) (RunResult, error) {
 		return RunResult{}, err
 	}
 	mm.Metrics = s.multiMetrics
+	if fr := s.cfg.Flight; fr != nil {
+		rec := fr.Recorder()
+		mm.OnRebalance = func(before, after []int) {
+			p0, n := span.PackBudgets(before)
+			p1, _ := span.PackBudgets(after)
+			rec.Emit(span.Event{
+				Kind: span.KindRebalance, Stream: -1, Frame: -1, Task: -1, Scenario: -1,
+				Cores: n, Pack0: p0, Pack1: p1,
+			})
+		}
+	}
 	budgets := make([]float64, len(s.streams))
 	for i, sc := range s.streams {
 		budgets[i] = sc.BudgetMs
@@ -337,6 +361,11 @@ func (s *Server) Run(n int) (RunResult, error) {
 		}
 	}
 	out.AggregateFPS = throughputFPS(processed, wall)
+	// A dump armed near the end of the run (or by a quarantine with no more
+	// frames coming) would otherwise wait forever for its after-window.
+	if err := s.cfg.Flight.Flush(); err != nil {
+		errs = append(errs, fmt.Errorf("flight recorder: %w", err))
+	}
 	return out, errors.Join(errs...)
 }
 
@@ -365,6 +394,11 @@ type runner struct {
 	eng *pipeline.Engine
 	mgr *sched.Manager
 	deg *pipeline.Degrader
+
+	// Span tracing (nil when ServerConfig.Flight is unset). fb is replaced
+	// together with the engine after a stall — see span.go.
+	fr *span.FlightRecorder
+	fb *span.FrameBuilder
 
 	res          Result
 	latencySum   float64
@@ -412,6 +446,7 @@ func serveOne(si int, sc Config, n int, ctl *controller, pool *parallel.Pool, te
 	if sc.BudgetMs > 0 {
 		r.mgr.BudgetMs = sc.BudgetMs
 	}
+	r.attachSpans()
 	if cfg.Supervise {
 		r.supervised()
 	} else {
@@ -500,6 +535,7 @@ func (r *runner) serveFrames(start int) (failedAt int, stalled bool, err error) 
 			res.Stats.Skipped++
 			r.sinceRestart++
 			tel.skipped()
+			r.spanSkip(i)
 			if err := tr.Append(0, 0, 0, 0, 1, 0, 0, 0); err != nil {
 				return i, false, err
 			}
@@ -529,9 +565,11 @@ func (r *runner) serveFrames(start int) (failedAt int, stalled bool, err error) 
 		rep, perr, doErr, outcome := r.runProcess(f, dec.Mapping)
 		switch outcome {
 		case procAbandoned:
+			r.spanAbandon(i, d.Cores)
 			r.recordLostFrame(i, float64(d.Cores), serialFrame, false)
 			continue
 		case procStalled:
+			r.spanStall(i)
 			return i, true, fmt.Errorf("frame %d: stalled past %v ms wall clock; engine unusable", i, r.cfg.StallMs)
 		}
 		if doErr != nil {
@@ -541,6 +579,7 @@ func (r *runner) serveFrames(start int) (failedAt int, stalled bool, err error) 
 			var te *pipeline.TaskError
 			if errors.As(perr, &te) {
 				// A recovered task panic fails the frame, not the stream.
+				r.spanFailed(i, d.Cores)
 				r.recordLostFrame(i, float64(d.Cores), serialFrame, true)
 				tel.taskPanic()
 				continue
@@ -570,6 +609,7 @@ func (r *runner) serveFrames(start int) (failedAt int, stalled bool, err error) 
 			res.Stats.AccountingErrs++
 		}
 		r.observeOutcome(missed == 0)
+		r.spanProcessed(i, rep.Scenario.Index(), int(rep.Quality), d.Cores, dec.PredictedMs, rep.LatencyMs, missed == 1)
 		tel.processed(rep.LatencyMs, missed == 1, len(rep.AccountingErrs) > 0)
 		if err := tr.Append(rep.LatencyMs, dec.PredictedMs, float64(d.Cores), missed, 0, serialFrame, 0, 0); err != nil {
 			return i, false, err
@@ -611,8 +651,10 @@ func (r *runner) recordLostFrame(i int, cores, serialFrame float64, taskFailure 
 
 // observeOutcome feeds the degradation ladder and publishes rung changes.
 func (r *runner) observeOutcome(ok bool) {
+	prev := r.deg.Level()
 	if r.deg.Observe(ok) {
 		r.tel.qualityChanged(r.deg.Level())
+		r.spanDegrade(prev, r.deg.Level())
 	}
 }
 

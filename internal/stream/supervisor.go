@@ -71,9 +71,13 @@ func (r *runner) supervised() {
 			mgr.BudgetMs = r.mgr.BudgetMs
 			r.tel.rewire(eng, mgr, r.mgr)
 			r.eng, r.mgr = eng, mgr
+			// Fresh builder + fan-out sink for the rebuilt pair (the old
+			// builder stays with the poisoned engine, never committed).
+			r.attachSpans()
 		}
 		r.res.Stats.Restarts++
 		r.tel.restarted()
+		r.spanRestart(failedAt)
 		recoverySumMs += float64(time.Since(crashedAt).Nanoseconds()) / 1e6
 		r.res.Stats.MeanRecoveryMs = recoverySumMs / float64(r.res.Stats.Restarts)
 		start = failedAt + 1
@@ -86,4 +90,5 @@ func (r *runner) quarantine(err error) {
 	r.res.Err = fmt.Errorf("quarantined: %w", err)
 	r.res.Stats.Quarantined = true
 	r.ctl.quarantine(r.si)
+	r.spanQuarantine()
 }
