@@ -1,0 +1,54 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"triplec/internal/bench"
+)
+
+// runBench executes the fixed multi-stream scenario matrix through the
+// serial and software-pipelined paths and writes the machine-readable
+// trajectory point (BENCH_6.json). Every number is machine-model time, so
+// the output is bit-reproducible; the command exits non-zero when the
+// emitted document fails schema validation or any pipelined scenario's
+// measured speedup falls below -min-speedup.
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	short := fs.Bool("short", false, "third-length scenario runs for CI")
+	out := fs.String("out", "BENCH_6.json", "trajectory output path")
+	minSpeedup := fs.Float64("min-speedup", 1.0, "fail if a pipelined scenario measures below this speedup")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	t, err := bench.Run(bench.Options{Short: *short, Log: os.Stderr})
+	if err != nil {
+		return err
+	}
+	if err := t.Validate(); err != nil {
+		return err
+	}
+
+	fmt.Printf("%-12s %7s %9s %12s %12s %8s %8s %9s %9s %7s\n",
+		"scenario", "streams", "pipelined", "fps-serial", "fps-piped", "gain", "p50-ms", "measured", "predicted", "relerr")
+	for _, r := range t.Scenarios {
+		fmt.Printf("%-12s %7d %9d %12.1f %12.1f %7.2fx %8.1f %9.3f %9.3f %6.1f%%\n",
+			r.Name, r.Streams, r.PipelinedStreams, r.FPSSerial, r.FPSPipelined,
+			r.ThroughputGain, r.P50Ms, r.SpeedupMeasured, r.SpeedupPredicted, 100*r.RelErr)
+	}
+	fmt.Printf("\nbest multi-stream gain %.2fx; estimator within 25%% on %d/%d scenarios; min pipelined speedup %.3f\n",
+		t.Summary.BestMultiStreamGain, t.Summary.ScenariosWithinQuarter, len(t.Scenarios), t.Summary.MinPipelinedSpeedup)
+
+	file, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	if err := t.WriteJSON(file); err != nil {
+		return err
+	}
+	fmt.Println("wrote", *out)
+	return t.Check(*minSpeedup)
+}

@@ -13,6 +13,7 @@
 //	triplec chaos [-streams n] [-faulted n] [-frames n] [-seed s]
 //	  [-panic-prob p] [-hang-prob p] [-max-miss-rate r] [-json]
 //	  [-trace-dir dir] [-breaker]
+//	triplec bench [-short] [-out BENCH_6.json] [-min-speedup 1.0]
 //	triplec trace dump.json
 //
 // The serve subcommand runs the concurrent multi-stream serving layer: N
@@ -32,6 +33,13 @@
 // and abandoned, deadline-miss rate, restarts, mean time to recover) and
 // exits non-zero if a fault escaped containment; -json emits the stats as
 // machine-readable JSON on stdout instead.
+//
+// The bench subcommand runs the fixed multi-stream workload matrix through
+// the serial and software-pipelined paths (internal/bench) and writes the
+// machine-readable trajectory point BENCH_6.json: per-scenario fps, p50/p99
+// modeled latency, measured pipelining speedup and the analytical
+// estimator's prediction (internal/speedup). It exits non-zero on schema
+// or speedup-floor violations, making it the CI perf-regression gate.
 //
 // Both serving subcommands accept -trace-dir to enable the per-frame span
 // tracing layer (internal/span): an always-on flight recorder whose
@@ -65,6 +73,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "chaos" {
 		if err := runChaos(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "triplec chaos:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		if err := runBench(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "triplec bench:", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,462 @@
+// Package bench is the machine-readable performance trajectory: it runs a
+// fixed set of multi-stream workload scenarios through the serial path and
+// the software-pipelined path (pipeline.RunSequencePipelined) and emits one
+// BENCH_<pr>.json point per PR, so speedups are tracked — and regressions
+// caught — across the repository's history.
+//
+// Each scenario models N concurrent streams sharing the paper's 8-core
+// Blackford machine. The modeled cores are divided by sched.SplitCores from
+// a short serial profiling prefix (the Triple-C methodology: measure first,
+// then commit resources); a stream software-pipelines only when its share
+// is at least 2 cores — one core per in-flight pipeline half — and each
+// half additionally stripes its data-parallel tasks over half the share
+// (partition.Worst(budget/2)). Streams whose share stays at one core keep
+// the serial path, so the 8-streams-on-8-cores scenario is the anchored
+// no-pipelining baseline.
+//
+// All times are the machine model's milliseconds, not host wall clock, so
+// every number in the trajectory is bit-reproducible on any machine and in
+// CI. Two speedups are reported per scenario:
+//
+//   - speedup_measured / speedup_predicted: the pipelining gain alone,
+//     measured by playing the window-2 schedule (speedup.MeasureTimeline)
+//     against the same reports the analytical estimator (speedup.Predict)
+//     sees — the falsifiable pair the estimator is judged on;
+//   - throughput_gain: fps of the pipelined+striped path over the plain
+//     serial path — the end-to-end gain a serving deployment would see.
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"triplec/internal/frame"
+	"triplec/internal/partition"
+	"triplec/internal/pipeline"
+	"triplec/internal/platform"
+	"triplec/internal/sched"
+	"triplec/internal/speedup"
+	"triplec/internal/stats"
+	"triplec/internal/synth"
+)
+
+// Schema identifies the trajectory file format.
+const Schema = "triplec-bench/v1"
+
+// PR is the trajectory point this tree emits (BENCH_<PR>.json).
+const PR = 6
+
+// profileFrames is the serial profiling prefix length used to derive the
+// per-stream demand that SplitCores divides the modeled machine by.
+const profileFrames = 12
+
+// Scenario is one benchmark workload: N streams of a given geometry and
+// image difficulty served concurrently on the modeled machine.
+type Scenario struct {
+	Name          string
+	Streams       int
+	Width, Height int
+	Spacing       float64
+	NoiseSigma    float64
+	ClutterRate   float64
+	// Mixed varies noise and clutter per stream index, so the demands — and
+	// therefore the core split — are deliberately unequal.
+	Mixed bool
+	// Frames per stream in full mode; Options.Short cuts it to a third
+	// (floor 16).
+	Frames int
+}
+
+// Scenarios returns the fixed 8-scenario workload matrix: 1/2/4/8 streams,
+// 128 and 192 px geometries, clean, noisy and mixed difficulty.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{Name: "1x128-clean", Streams: 1, Width: 128, Height: 128, Spacing: 36, NoiseSigma: 120, ClutterRate: 1, Frames: 96},
+		{Name: "1x192-clean", Streams: 1, Width: 192, Height: 192, Spacing: 54, NoiseSigma: 120, ClutterRate: 1, Frames: 64},
+		{Name: "2x128-mixed", Streams: 2, Width: 128, Height: 128, Spacing: 36, NoiseSigma: 150, ClutterRate: 2, Mixed: true, Frames: 72},
+		{Name: "2x192-noisy", Streams: 2, Width: 192, Height: 192, Spacing: 54, NoiseSigma: 250, ClutterRate: 3, Frames: 48},
+		{Name: "4x128-clean", Streams: 4, Width: 128, Height: 128, Spacing: 36, NoiseSigma: 120, ClutterRate: 1, Frames: 48},
+		{Name: "4x128-noisy", Streams: 4, Width: 128, Height: 128, Spacing: 36, NoiseSigma: 250, ClutterRate: 3, Frames: 48},
+		{Name: "8x128-clean", Streams: 8, Width: 128, Height: 128, Spacing: 36, NoiseSigma: 120, ClutterRate: 1, Frames: 32},
+		{Name: "8x128-mixed", Streams: 8, Width: 128, Height: 128, Spacing: 36, NoiseSigma: 150, ClutterRate: 2, Mixed: true, Frames: 32},
+	}
+}
+
+// ScenarioResult is one scenario's trajectory point. All milliseconds and
+// fps are modeled (machine-model time), rounded to 4 decimals.
+type ScenarioResult struct {
+	Name             string  `json:"name"`
+	Streams          int     `json:"streams"`
+	FramesPerStream  int     `json:"frames_per_stream"`
+	CoreBudgets      []int   `json:"core_budgets"`
+	PipelinedStreams int     `json:"pipelined_streams"`
+	FPSSerial        float64 `json:"fps_serial"`
+	FPSPipelined     float64 `json:"fps_pipelined"`
+	ThroughputGain   float64 `json:"throughput_gain"`
+	P50Ms            float64 `json:"p50_ms"`
+	P99Ms            float64 `json:"p99_ms"`
+	SpeedupMeasured  float64 `json:"speedup_measured"`
+	SpeedupPredicted float64 `json:"speedup_predicted"`
+	RelErr           float64 `json:"rel_err"`
+	MemBoundFrac     float64 `json:"mem_bound_frac"`
+}
+
+// Summary aggregates the acceptance-relevant headlines.
+type Summary struct {
+	// BestMultiStreamGain is the largest throughput_gain over scenarios
+	// with more than one stream.
+	BestMultiStreamGain float64 `json:"best_multi_stream_gain"`
+	// ScenariosWithinQuarter counts scenarios whose predicted speedup lies
+	// within 25% of measured.
+	ScenariosWithinQuarter int `json:"scenarios_within_quarter"`
+	// MinPipelinedSpeedup is the smallest measured pipelining speedup over
+	// scenarios that actually pipelined (1 when none did).
+	MinPipelinedSpeedup float64 `json:"min_pipelined_speedup"`
+}
+
+// Trajectory is the full BENCH_<pr>.json document.
+type Trajectory struct {
+	Schema     string           `json:"schema"`
+	PR         int              `json:"pr"`
+	Arch       string           `json:"arch"`
+	ModelCores int              `json:"model_cores"`
+	Short      bool             `json:"short"`
+	Scenarios  []ScenarioResult `json:"scenarios"`
+	Summary    Summary          `json:"summary"`
+}
+
+// Options tunes a trajectory run.
+type Options struct {
+	// Short cuts every scenario's frame count to a third (floor 16) for CI.
+	Short bool
+	// Log, when set, receives one progress line per scenario.
+	Log io.Writer
+}
+
+// Run executes the full scenario matrix and assembles the trajectory.
+func Run(opts Options) (Trajectory, error) {
+	scens := Scenarios()
+	results := make([]ScenarioResult, 0, len(scens))
+	for i, sc := range scens {
+		frames := sc.Frames
+		if opts.Short {
+			frames = sc.Frames / 3
+			if frames < 16 {
+				frames = 16
+			}
+		}
+		res, err := runScenario(sc, uint64(1+8009*i), frames)
+		if err != nil {
+			return Trajectory{}, fmt.Errorf("bench: scenario %s: %w", sc.Name, err)
+		}
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, "%-12s streams=%d budgets=%v gain=%.2fx measured=%.3f predicted=%.3f\n",
+				res.Name, res.Streams, res.CoreBudgets, res.ThroughputGain, res.SpeedupMeasured, res.SpeedupPredicted)
+		}
+		results = append(results, res)
+	}
+	return assemble(results, opts.Short), nil
+}
+
+// streamConfig derives stream s's synthetic-sequence configuration; Mixed
+// scenarios skew noise and clutter per stream so demands differ.
+func streamConfig(sc Scenario, s int, seed uint64) synth.Config {
+	cfg := synth.DefaultConfig(seed)
+	cfg.Width, cfg.Height = sc.Width, sc.Height
+	cfg.MarkerSpacing = sc.Spacing
+	cfg.NoiseSigma = sc.NoiseSigma
+	cfg.QuantumGain = 0
+	cfg.ClutterRate = sc.ClutterRate
+	cfg.DropoutEvery = 23
+	if sc.Mixed {
+		cfg.NoiseSigma += 60 * float64(s%3)
+		cfg.ClutterRate += float64(s % 2)
+	}
+	return cfg
+}
+
+func newEngine(sc Scenario) (*pipeline.Engine, error) {
+	return pipeline.New(pipeline.Config{
+		Width: sc.Width, Height: sc.Height,
+		MarkerSpacing: sc.Spacing,
+		Arch:          platform.Blackford(),
+	})
+}
+
+// runScenario executes one scenario: profile, split cores, then serve every
+// stream through both the serial baseline and its committed path.
+func runScenario(sc Scenario, seedBase uint64, frames int) (ScenarioResult, error) {
+	arch := platform.Blackford()
+	sources := make([]func(int) *frame.Frame, sc.Streams)
+	demands := make([]float64, sc.Streams)
+	for s := 0; s < sc.Streams; s++ {
+		seq, err := synth.New(streamConfig(sc, s, seedBase+131*uint64(s)))
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+		src := func(i int) *frame.Frame {
+			f, _ := seq.Frame(i)
+			return f
+		}
+		sources[s] = src
+
+		// Profiling prefix: a short serial run whose mean modeled latency is
+		// the demand signal the core split divides the machine by.
+		eng, err := newEngine(sc)
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+		n := profileFrames
+		if n > frames {
+			n = frames
+		}
+		reps, err := eng.RunSequence(n, src, nil)
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+		for _, r := range reps {
+			demands[s] += r.LatencyMs
+		}
+		demands[s] /= float64(len(reps))
+	}
+	budgets, err := sched.SplitCores(arch.NumCPUs, demands)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+
+	res := ScenarioResult{
+		Name: sc.Name, Streams: sc.Streams, FramesPerStream: frames,
+		CoreBudgets: budgets,
+	}
+	var (
+		wallSerial, wallEff float64 // modeled makespan of the slowest stream
+		sumServed, sumEff   float64 // pooled stage time vs pipelined makespan
+		sumPredEff          float64 // pooled makespan the estimator predicts
+		memBoundWeight      float64
+		latencies           []float64
+	)
+	for s := 0; s < sc.Streams; s++ {
+		eng, err := newEngine(sc)
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+		serialReps, err := eng.RunSequence(frames, sources[s], nil)
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+		serialMs := speedup.MeasureTimeline(serialReps).SerialMs
+		if serialMs > wallSerial {
+			wallSerial = serialMs
+		}
+
+		served := serialReps
+		servedMs := serialMs
+		effMs := serialMs
+		predEffMs := serialMs
+		if budgets[s] >= 2 {
+			// The committed path: one core per in-flight half, the rest of
+			// the share striping each half's data-parallel tasks.
+			half := budgets[s] / 2
+			m := partition.Worst(half)
+			peng, err := newEngine(sc)
+			if err != nil {
+				return ScenarioResult{}, err
+			}
+			pipeReps, err := peng.RunSequencePipelined(frames, sources[s], m)
+			if err != nil {
+				return ScenarioResult{}, err
+			}
+			tl := speedup.MeasureTimeline(pipeReps)
+			est, err := speedup.Predict(pipeReps, arch)
+			if err != nil {
+				return ScenarioResult{}, err
+			}
+			served = pipeReps
+			servedMs = tl.SerialMs
+			effMs = tl.MakespanMs
+			predEffMs = tl.SerialMs / est.Speedup
+			memBoundWeight += est.MemBoundFrac * float64(frames)
+			res.PipelinedStreams++
+		}
+		if effMs > wallEff {
+			wallEff = effMs
+		}
+		sumServed += servedMs
+		sumEff += effMs
+		sumPredEff += predEffMs
+		for _, r := range served {
+			latencies = append(latencies, r.LatencyMs)
+		}
+	}
+
+	total := float64(frames * sc.Streams)
+	res.FPSSerial = round4(total * 1e3 / wallSerial)
+	res.FPSPipelined = round4(total * 1e3 / wallEff)
+	res.ThroughputGain = round4(wallSerial / wallEff)
+	res.SpeedupMeasured = round4(sumServed / sumEff)
+	res.SpeedupPredicted = round4(sumServed / sumPredEff)
+	res.RelErr = round4(math.Abs(res.SpeedupPredicted-res.SpeedupMeasured) / res.SpeedupMeasured)
+	res.MemBoundFrac = round4(memBoundWeight / total)
+	p50, err := stats.Percentile(latencies, 50)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	p99, err := stats.Percentile(latencies, 99)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	res.P50Ms, res.P99Ms = round4(p50), round4(p99)
+	return res, nil
+}
+
+// assemble builds the trajectory document around the scenario results.
+func assemble(results []ScenarioResult, short bool) Trajectory {
+	t := Trajectory{
+		Schema: Schema, PR: PR,
+		Arch:       "Blackford DP Xeon E5345 (8-core)",
+		ModelCores: platform.Blackford().NumCPUs,
+		Short:      short,
+		Scenarios:  results,
+	}
+	t.Summary = summarize(results)
+	return t
+}
+
+func summarize(results []ScenarioResult) Summary {
+	s := Summary{MinPipelinedSpeedup: 1}
+	minSet := false
+	for _, r := range results {
+		if r.Streams > 1 && r.ThroughputGain > s.BestMultiStreamGain {
+			s.BestMultiStreamGain = r.ThroughputGain
+		}
+		if r.RelErr <= 0.25 {
+			s.ScenariosWithinQuarter++
+		}
+		if r.PipelinedStreams > 0 && (!minSet || r.SpeedupMeasured < s.MinPipelinedSpeedup) {
+			s.MinPipelinedSpeedup = r.SpeedupMeasured
+			minSet = true
+		}
+	}
+	return s
+}
+
+// Validate checks the trajectory's schema: field presence, internal
+// consistency, and physically meaningful ranges. It is the machine-readable
+// contract CI enforces on every emitted BENCH_*.json.
+func (t Trajectory) Validate() error {
+	if t.Schema != Schema {
+		return fmt.Errorf("bench: schema %q, want %q", t.Schema, Schema)
+	}
+	if t.PR < 1 {
+		return fmt.Errorf("bench: PR %d invalid", t.PR)
+	}
+	if t.Arch == "" {
+		return errors.New("bench: empty arch")
+	}
+	if t.ModelCores < 1 {
+		return fmt.Errorf("bench: model_cores %d invalid", t.ModelCores)
+	}
+	if len(t.Scenarios) == 0 {
+		return errors.New("bench: no scenarios")
+	}
+	seen := map[string]bool{}
+	for _, r := range t.Scenarios {
+		if r.Name == "" || seen[r.Name] {
+			return fmt.Errorf("bench: missing or duplicate scenario name %q", r.Name)
+		}
+		seen[r.Name] = true
+		if r.Streams < 1 || r.FramesPerStream < 1 {
+			return fmt.Errorf("bench: %s: streams %d / frames %d invalid", r.Name, r.Streams, r.FramesPerStream)
+		}
+		if len(r.CoreBudgets) != r.Streams {
+			return fmt.Errorf("bench: %s: %d budgets for %d streams", r.Name, len(r.CoreBudgets), r.Streams)
+		}
+		sum := 0
+		for _, b := range r.CoreBudgets {
+			if b < 0 {
+				return fmt.Errorf("bench: %s: negative core budget %d", r.Name, b)
+			}
+			sum += b
+		}
+		if sum > t.ModelCores {
+			return fmt.Errorf("bench: %s: budgets %v over-commit %d cores", r.Name, r.CoreBudgets, t.ModelCores)
+		}
+		if r.PipelinedStreams < 0 || r.PipelinedStreams > r.Streams {
+			return fmt.Errorf("bench: %s: pipelined_streams %d out of range", r.Name, r.PipelinedStreams)
+		}
+		for _, v := range []struct {
+			name string
+			val  float64
+		}{
+			{"fps_serial", r.FPSSerial}, {"fps_pipelined", r.FPSPipelined},
+			{"throughput_gain", r.ThroughputGain},
+			{"p50_ms", r.P50Ms}, {"p99_ms", r.P99Ms},
+			{"speedup_measured", r.SpeedupMeasured}, {"speedup_predicted", r.SpeedupPredicted},
+		} {
+			if v.val <= 0 || math.IsNaN(v.val) || math.IsInf(v.val, 0) {
+				return fmt.Errorf("bench: %s: %s = %v must be positive and finite", r.Name, v.name, v.val)
+			}
+		}
+		if r.P50Ms > r.P99Ms {
+			return fmt.Errorf("bench: %s: p50 %v exceeds p99 %v", r.Name, r.P50Ms, r.P99Ms)
+		}
+		// The window-2 pipeline cannot measure beyond its two-stage bound.
+		if r.SpeedupMeasured > 2.001 {
+			return fmt.Errorf("bench: %s: measured speedup %v exceeds the two-stage bound", r.Name, r.SpeedupMeasured)
+		}
+		if r.RelErr < 0 || math.IsNaN(r.RelErr) {
+			return fmt.Errorf("bench: %s: rel_err %v invalid", r.Name, r.RelErr)
+		}
+		want := math.Abs(r.SpeedupPredicted-r.SpeedupMeasured) / r.SpeedupMeasured
+		if math.Abs(r.RelErr-want) > 5e-3 {
+			return fmt.Errorf("bench: %s: rel_err %v inconsistent with speedups (want %.4f)", r.Name, r.RelErr, want)
+		}
+		if r.MemBoundFrac < 0 || r.MemBoundFrac > 1 {
+			return fmt.Errorf("bench: %s: mem_bound_frac %v out of [0,1]", r.Name, r.MemBoundFrac)
+		}
+	}
+	want := summarize(t.Scenarios)
+	if math.Abs(want.BestMultiStreamGain-t.Summary.BestMultiStreamGain) > 5e-3 ||
+		want.ScenariosWithinQuarter != t.Summary.ScenariosWithinQuarter ||
+		math.Abs(want.MinPipelinedSpeedup-t.Summary.MinPipelinedSpeedup) > 5e-3 {
+		return fmt.Errorf("bench: summary %+v inconsistent with scenarios (want %+v)", t.Summary, want)
+	}
+	return nil
+}
+
+// Check enforces the regression gate: every scenario that pipelined must
+// have measured at least minSpeedup over serial.
+func (t Trajectory) Check(minSpeedup float64) error {
+	for _, r := range t.Scenarios {
+		if r.PipelinedStreams > 0 && r.SpeedupMeasured < minSpeedup {
+			return fmt.Errorf("bench: %s: pipelined speedup %.3f below the %.2f floor", r.Name, r.SpeedupMeasured, minSpeedup)
+		}
+	}
+	return nil
+}
+
+// WriteJSON emits the trajectory as indented JSON.
+func (t Trajectory) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// Load parses a trajectory document, rejecting unknown fields so schema
+// drift fails loudly.
+func Load(r io.Reader) (Trajectory, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var t Trajectory
+	if err := dec.Decode(&t); err != nil {
+		return Trajectory{}, fmt.Errorf("bench: %w", err)
+	}
+	return t, nil
+}
+
+func round4(v float64) float64 {
+	return math.Round(v*1e4) / 1e4
+}

@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The scenario matrix must cover the advertised axes: 1/2/4/8 streams, both
+// geometries, mixed and noisy difficulty.
+func TestScenarioMatrixAxes(t *testing.T) {
+	scens := Scenarios()
+	if len(scens) != 8 {
+		t.Fatalf("%d scenarios, want 8", len(scens))
+	}
+	streams := map[int]bool{}
+	names := map[string]bool{}
+	var has192, hasMixed, hasNoisy bool
+	for _, sc := range scens {
+		if names[sc.Name] {
+			t.Fatalf("duplicate scenario name %q", sc.Name)
+		}
+		names[sc.Name] = true
+		streams[sc.Streams] = true
+		if sc.Width == 192 {
+			has192 = true
+		}
+		if sc.Mixed {
+			hasMixed = true
+		}
+		if sc.NoiseSigma >= 250 {
+			hasNoisy = true
+		}
+		if sc.Frames < 16 {
+			t.Fatalf("%s: %d frames too short for a percentile estimate", sc.Name, sc.Frames)
+		}
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		if !streams[n] {
+			t.Fatalf("no %d-stream scenario", n)
+		}
+	}
+	if !has192 || !hasMixed || !hasNoisy {
+		t.Fatalf("axes missing: 192px=%v mixed=%v noisy=%v", has192, hasMixed, hasNoisy)
+	}
+}
+
+// A tiny live run through one single-stream and one multi-stream scenario:
+// the budgets must respect the modeled machine, the measured pipelining
+// speedup must be real, and the assembled document must validate.
+func TestRunScenarioTiny(t *testing.T) {
+	scens := Scenarios()
+	var results []ScenarioResult
+	for _, idx := range []int{0, 2} { // 1x128-clean, 2x128-mixed
+		res, err := runScenario(scens[idx], uint64(1+8009*idx), 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0
+		for _, b := range res.CoreBudgets {
+			sum += b
+		}
+		if sum > 8 {
+			t.Fatalf("%s: budgets %v over-commit the 8-core model", res.Name, res.CoreBudgets)
+		}
+		if res.PipelinedStreams == 0 {
+			t.Fatalf("%s: expected pipelining with budgets %v", res.Name, res.CoreBudgets)
+		}
+		if res.SpeedupMeasured <= 1 || res.SpeedupMeasured > 2.001 {
+			t.Fatalf("%s: measured speedup %v outside (1, 2]", res.Name, res.SpeedupMeasured)
+		}
+		if res.ThroughputGain < res.SpeedupMeasured-5e-3 {
+			t.Fatalf("%s: striped+pipelined gain %v below overlap speedup %v",
+				res.Name, res.ThroughputGain, res.SpeedupMeasured)
+		}
+		results = append(results, res)
+	}
+	tr := assemble(results, true)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Check(1.0); err != nil {
+		t.Fatal(err)
+	}
+
+	// The document round-trips through its own reader.
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped document invalid: %v", err)
+	}
+}
+
+func validTrajectory() Trajectory {
+	return assemble([]ScenarioResult{{
+		Name: "a", Streams: 2, FramesPerStream: 16, CoreBudgets: []int{4, 4},
+		PipelinedStreams: 2, FPSSerial: 40, FPSPipelined: 80, ThroughputGain: 2,
+		P50Ms: 20, P99Ms: 40, SpeedupMeasured: 1.3, SpeedupPredicted: 1.3,
+		RelErr: 0, MemBoundFrac: 0,
+	}}, false)
+}
+
+func TestValidateRejectsCorruptDocuments(t *testing.T) {
+	if err := validTrajectory().Validate(); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*Trajectory)
+		wantSub string
+	}{
+		{"wrong schema", func(tr *Trajectory) { tr.Schema = "nope" }, "schema"},
+		{"overcommitted budgets", func(tr *Trajectory) { tr.Scenarios[0].CoreBudgets = []int{8, 8} }, "over-commit"},
+		{"budget count mismatch", func(tr *Trajectory) { tr.Scenarios[0].CoreBudgets = []int{8} }, "budgets for"},
+		{"zero fps", func(tr *Trajectory) { tr.Scenarios[0].FPSPipelined = 0 }, "fps_pipelined"},
+		{"inverted percentiles", func(tr *Trajectory) { tr.Scenarios[0].P50Ms = 99 }, "p50"},
+		{"impossible speedup", func(tr *Trajectory) {
+			tr.Scenarios[0].SpeedupMeasured = 2.5
+			tr.Scenarios[0].SpeedupPredicted = 2.5
+			tr.Summary = summarize(tr.Scenarios)
+		}, "two-stage bound"},
+		{"inconsistent rel_err", func(tr *Trajectory) { tr.Scenarios[0].RelErr = 0.5 }, "rel_err"},
+		{"stale summary", func(tr *Trajectory) { tr.Summary.ScenariosWithinQuarter = 0 }, "summary"},
+	}
+	for _, tc := range cases {
+		tr := validTrajectory()
+		tc.mutate(&tr)
+		err := tr.Validate()
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+func TestCheckEnforcesSpeedupFloor(t *testing.T) {
+	tr := validTrajectory()
+	if err := tr.Check(1.2); err != nil {
+		t.Fatalf("1.3 measured rejected at 1.2 floor: %v", err)
+	}
+	if err := tr.Check(1.4); err == nil {
+		t.Fatal("1.3 measured accepted at 1.4 floor")
+	}
+	// A scenario that never pipelined is exempt from the floor.
+	tr.Scenarios[0].PipelinedStreams = 0
+	if err := tr.Check(1.4); err != nil {
+		t.Fatalf("non-pipelined scenario gated: %v", err)
+	}
+}
+
+// The checked-in trajectory point must parse, validate, and meet the PR's
+// acceptance thresholds: ≥1.3x throughput on a multi-stream scenario and
+// the estimator within 25% of measured on ≥6 of 8 scenarios. The file is
+// pure machine-model time, so this is deterministic; if modeled times
+// change, regenerate it with `triplec bench`.
+func TestCheckedInTrajectory(t *testing.T) {
+	f, err := os.Open(filepath.Join("..", "..", "BENCH_6.json"))
+	if err != nil {
+		t.Fatalf("BENCH_6.json missing (regenerate with `triplec bench`): %v", err)
+	}
+	defer f.Close()
+	tr, err := Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.PR != PR || tr.Short {
+		t.Fatalf("checked-in file must be a full run for PR %d, got pr=%d short=%v", PR, tr.PR, tr.Short)
+	}
+	if len(tr.Scenarios) != len(Scenarios()) {
+		t.Fatalf("%d scenarios, want %d", len(tr.Scenarios), len(Scenarios()))
+	}
+	if tr.Summary.BestMultiStreamGain < 1.3 {
+		t.Fatalf("best multi-stream throughput gain %.3f below the 1.3x acceptance bar", tr.Summary.BestMultiStreamGain)
+	}
+	if tr.Summary.ScenariosWithinQuarter < 6 {
+		t.Fatalf("estimator within 25%% on only %d/%d scenarios, need ≥6",
+			tr.Summary.ScenariosWithinQuarter, len(tr.Scenarios))
+	}
+	if err := tr.Check(1.0); err != nil {
+		t.Fatal(err)
+	}
+}

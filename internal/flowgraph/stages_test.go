@@ -1,0 +1,67 @@
+package flowgraph
+
+import (
+	"testing"
+
+	"triplec/internal/tasks"
+)
+
+// The two stages must partition every scenario's active task set, preserve
+// pipeline order, and respect the inter-frame dependency cut: every task
+// that produces state the next frame's analysis consumes (couple, previous
+// frame, ROI) is in the front stage.
+func TestStagesPartitionActiveTasks(t *testing.T) {
+	for _, s := range AllScenarios() {
+		front, back := s.FrontTasks(), s.BackTasks()
+		merged := append(append([]tasks.Name{}, front...), back...)
+		active := s.ActiveTasks()
+		if len(merged) != len(active) {
+			t.Fatalf("scenario %s: stages hold %d tasks, active set has %d", s, len(merged), len(active))
+		}
+		seen := map[tasks.Name]bool{}
+		for _, n := range merged {
+			if seen[n] {
+				t.Fatalf("scenario %s: task %s in both stages", s, n)
+			}
+			seen[n] = true
+		}
+		for _, n := range active {
+			if !seen[n] {
+				t.Fatalf("scenario %s: active task %s in neither stage", s, n)
+			}
+		}
+	}
+}
+
+func TestStageOfRegistrationDependency(t *testing.T) {
+	// Producers of inter-frame analysis state must be front-stage.
+	for _, n := range []tasks.Name{tasks.NameDetect, tasks.NameRDGFull, tasks.NameRDGROI,
+		tasks.NameMKXExt, tasks.NameCPLSSel, tasks.NameREG, tasks.NameROIEst} {
+		if StageOf(n) != StageFront {
+			t.Fatalf("task %s must be front-stage (feeds the next frame's analysis)", n)
+		}
+	}
+	for _, n := range []tasks.Name{tasks.NameGWExt, tasks.NameENH, tasks.NameZOOM} {
+		if StageOf(n) != StageBack {
+			t.Fatalf("task %s must be back-stage", n)
+		}
+	}
+}
+
+func TestBackStageEmptyOnRegFailure(t *testing.T) {
+	for _, s := range AllScenarios() {
+		back := s.BackTasks()
+		if s.RegSuccess && len(back) == 0 {
+			t.Fatalf("scenario %s: registration succeeded but back stage is empty", s)
+		}
+		if !s.RegSuccess && len(back) != 0 {
+			t.Fatalf("scenario %s: registration failed but back stage holds %v", s, back)
+		}
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	if StageFront.String() != "front" || StageBack.String() != "back" {
+		t.Fatalf("stage strings: %s / %s", StageFront, StageBack)
+	}
+}

@@ -19,6 +19,13 @@ func GaussianBlurParallel(src *Frame, sigma float64, k int) *Frame {
 // GaussianBlurIntoParallel is GaussianBlurInto striped over k goroutines
 // (dst may be nil, must not alias src); it returns the destination used.
 func GaussianBlurIntoParallel(dst, src *Frame, sigma float64, k int) *Frame {
+	return GaussianBlurIntoOn(nil, dst, src, sigma, k)
+}
+
+// GaussianBlurIntoOn is GaussianBlurIntoParallel with the stripes executed
+// on a shared worker pool (parallel.StripesOn); a nil pool falls back to
+// fresh goroutines. Bit-identical to the serial version either way.
+func GaussianBlurIntoOn(pool *parallel.Pool, dst, src *Frame, sigma float64, k int) *Frame {
 	w := gaussianKernel(sigma)
 	width, height := src.Width(), src.Height()
 	dst = ensureDst(dst, width, height, src.Bounds)
@@ -28,10 +35,10 @@ func GaussianBlurIntoParallel(dst, src *Frame, sigma float64, k int) *Frame {
 	tmp := BorrowUninit(width, height)
 	tmp.Bounds = src.Bounds
 	y0 := src.Bounds.Y0
-	parallel.ForStripes(height, k, func(_, lo, hi int) {
+	parallel.StripesOn(pool, height, k, func(_, lo, hi int) {
 		blurHRows(tmp, src, w, y0+lo, y0+hi)
 	})
-	parallel.ForStripes(height, k, func(_, lo, hi int) {
+	parallel.StripesOn(pool, height, k, func(_, lo, hi int) {
 		blurVRows(dst, tmp, w, y0+lo, y0+hi)
 	})
 	Release(tmp)

@@ -208,6 +208,98 @@ func (p *Pool) Submit(job func()) error {
 	return nil
 }
 
+// SubmitBatch queues every job in one accounting step: a single lock
+// acquisition and a single wg.Add for the whole batch, instead of per-job
+// lock traffic. The channel sends happen after the lock is released — the
+// wg.Add performed under the lock keeps Close from closing the jobs channel
+// before the sends land (Close waits for the in-flight count to drain, which
+// cannot happen until every batched job has been sent and executed). The
+// batch is rejected atomically: either all jobs are queued or none.
+func (p *Pool) SubmitBatch(jobs []func()) error {
+	for _, j := range jobs {
+		if j == nil {
+			return errors.New("parallel: nil job in batch")
+		}
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return errors.New("parallel: pool closed")
+	}
+	p.wg.Add(len(jobs))
+	p.mu.Unlock()
+	for _, j := range jobs {
+		p.jobs <- j
+	}
+	return nil
+}
+
+// TrySubmitBatch queues as many jobs as fit in the pool's buffer without
+// blocking and returns how many were accepted (nil jobs are skipped). It is
+// the submission path for *optional* work — StripesOn's redundant wake-up
+// helpers — where blocking the caller on a saturated pool would invert the
+// point of submitting at all.
+func (p *Pool) TrySubmitBatch(jobs []func()) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return 0
+	}
+	submitted := 0
+	for _, j := range jobs {
+		if j == nil {
+			continue
+		}
+		p.wg.Add(1)
+		select {
+		case p.jobs <- j:
+			submitted++
+		default:
+			p.wg.Done()
+			return submitted
+		}
+	}
+	return submitted
+}
+
+// DoBatch runs every job on the pool's workers and blocks until all of them
+// complete, like a multi-job Do: the batch is submitted with one accounting
+// step (SubmitBatch) and the first panic among the jobs is returned as a
+// *PanicError after every job has finished.
+func (p *Pool) DoBatch(jobs []func()) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	for _, j := range jobs {
+		if j == nil {
+			return errors.New("parallel: nil job in batch")
+		}
+	}
+	var box panicBox
+	var done sync.WaitGroup
+	done.Add(len(jobs))
+	wrapped := make([]func(), len(jobs))
+	for i, j := range jobs {
+		j := j
+		wrapped[i] = func() {
+			defer done.Done()
+			defer func() { box.capture(recover()) }()
+			j()
+		}
+	}
+	if err := p.SubmitBatch(wrapped); err != nil {
+		return err
+	}
+	done.Wait()
+	if box.err != nil {
+		return box.err
+	}
+	return nil
+}
+
 // Wait blocks until every job submitted so far has finished.
 func (p *Pool) Wait() { p.wg.Wait() }
 
@@ -240,6 +332,69 @@ func (p *Pool) Do(job func()) error {
 		return pe
 	}
 	return nil
+}
+
+// StripesOn runs the same striped loop as ForStripes but executes the
+// stripes on p's workers instead of spawning fresh goroutines, so several
+// streams striping concurrently share the pool's fixed concurrency rather
+// than oversubscribing the host. It blocks until every stripe completes and
+// re-panics the first stripe panic on the caller, exactly like ForStripes.
+// A nil pool falls back to ForStripes.
+//
+// The work distribution is claim-based to stay deadlock-free: stripes live
+// behind an atomic counter, the *caller* drains claims itself, and up to k-1
+// redundant wake-up helpers are offered to the pool without blocking
+// (TrySubmitBatch). A saturated or busy pool therefore never stalls the
+// frame — the caller just executes every stripe on its own goroutine, which
+// is the serial floor, never a deadlock.
+func StripesOn(p *Pool, n, k int, fn func(stripe, lo, hi int)) {
+	if n <= 0 || fn == nil {
+		return
+	}
+	if k > n {
+		k = n
+	}
+	if k <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	if p == nil {
+		ForStripes(n, k, fn)
+		return
+	}
+	var next atomic.Int64
+	var box panicBox
+	var done sync.WaitGroup
+	done.Add(k)
+	claimOne := func() (more bool) {
+		defer func() { box.capture(recover()) }()
+		s := int(next.Add(1) - 1)
+		if s >= k {
+			return false
+		}
+		// more is set before fn runs so a panicking stripe is captured and
+		// the drain loop moves on to the next stripe instead of abandoning
+		// the unclaimed remainder (which would hang the join below).
+		more = true
+		defer done.Done()
+		fn(s, s*n/k, (s+1)*n/k)
+		return true
+	}
+	drain := func() {
+		for claimOne() {
+		}
+	}
+	helpers := make([]func(), k-1)
+	for i := range helpers {
+		helpers[i] = drain
+	}
+	p.TrySubmitBatch(helpers)
+	drain()
+	// Every stripe was claimed exactly once (atomic counter) and each claim
+	// decrements done even on panic, so this join cannot hang; it only waits
+	// for stripes a helper claimed before the caller finished draining.
+	done.Wait()
+	box.rethrow()
 }
 
 // Close drains the pool and stops the workers. Idempotent.

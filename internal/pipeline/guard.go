@@ -90,53 +90,86 @@ func (e *Engine) Quality() Quality { return e.quality }
 
 // enter marks a task as executing (for panic attribution), opens its span
 // (before the hook, so an injected panic aborts an attributed open span),
-// and fires the pre-task hook.
-func (e *Engine) enter(name tasks.Name) {
-	e.inTask = name
+// and fires the pre-task hook. The hook call is serialized across the two
+// pipeline halves in pipelined mode (see callHook), so a stateful injector
+// observes one task at a time exactly as under serial execution.
+func (e *Engine) enter(fx *frameExec, name tasks.Name) {
+	fx.inTask = name
 	e.spans.BeginTask(tasks.IndexOf(name))
 	if e.hook != nil {
-		e.hook(name, e.frameIdx)
+		e.callHook(name, fx.rep.Index)
 	}
+}
+
+// callHook fires the pre-task hook, holding hookMu in pipelined mode so
+// hooks from the overlapping front and back halves never interleave.
+func (e *Engine) callHook(name tasks.Name, frameIdx int) {
+	if e.lockHooks {
+		e.hookMu.Lock()
+		defer e.hookMu.Unlock()
+	}
+	e.hook(name, frameIdx)
+}
+
+// recordGate feeds one task outcome to the gate under the same
+// serialization as callHook.
+func (e *Engine) recordGate(name tasks.Name, ok bool) {
+	if e.lockHooks {
+		e.hookMu.Lock()
+		defer e.hookMu.Unlock()
+	}
+	e.gate.Record(name, ok)
+}
+
+// gateAllows consults the gate under the same serialization as callHook.
+func (e *Engine) gateAllows(name tasks.Name) bool {
+	if e.lockHooks {
+		e.hookMu.Lock()
+		defer e.hookMu.Unlock()
+	}
+	return e.gate.Allow(name)
 }
 
 // allowTask merges quality shedding and the breaker gate for one optional
 // task; a suppressed task is recorded on the report.
-func (e *Engine) allowTask(rep *Report, name tasks.Name) bool {
+func (e *Engine) allowTask(fx *frameExec, name tasks.Name) bool {
 	if e.quality.Sheds(name) {
-		rep.Suppressed = append(rep.Suppressed, name)
+		fx.rep.Suppressed = append(fx.rep.Suppressed, name)
 		e.spans.Suppressed(tasks.IndexOf(name))
 		return false
 	}
-	if e.gate != nil && gatedTask(name) && !e.gate.Allow(name) {
-		rep.Suppressed = append(rep.Suppressed, name)
+	if e.gate != nil && gatedTask(name) && !e.gateAllows(name) {
+		fx.rep.Suppressed = append(fx.rep.Suppressed, name)
 		e.spans.Suppressed(tasks.IndexOf(name))
 		return false
 	}
 	return true
 }
 
-// recoverFrame is Process's deferred panic guard: it converts the panic to
-// a *TaskError, feeds the failure to the gate, and resets the inter-frame
-// state (the panic may have left it half-updated, so the temporal stack is
-// invalidated exactly like a failed registration).
-func (e *Engine) recoverFrame(r any, rep *Report, err *error) {
-	failed := e.inTask
-	te := &TaskError{Task: failed, Frame: e.frameIdx, Cause: r}
+// recoverFrame is the engine's panic guard (deferred by Process, invoked
+// explicitly by the pipelined executor after the window drains): it converts
+// the panic to a *TaskError, feeds the failure to the gate, and resets the
+// inter-frame state (the panic may have left it half-updated, so the
+// temporal stack is invalidated exactly like a failed registration). The
+// frame counter is NOT advanced here — begin already consumed the frame's
+// index.
+func (e *Engine) recoverFrame(fx *frameExec, r any, rep *Report, err *error) {
+	failed := fx.inTask
+	te := &TaskError{Task: failed, Frame: fx.rep.Index, Cause: r}
 	if pe, ok := r.(*parallel.PanicError); ok {
 		te.Cause, te.Stack = pe.Value, pe.Stack
 	} else {
 		te.Stack = debug.Stack()
 	}
 	if e.gate != nil && gatedTask(failed) {
-		e.gate.Record(failed, false)
+		e.recordGate(failed, false)
 	}
 	e.spans.AbortFrame()
 	*rep = Report{}
 	*err = te
-	e.frameIdx++
 	e.prevFrame = nil
 	e.prevCouple = nil
 	e.prevROI = frame.Rect{}
 	e.enh.Reset()
-	e.inTask = ""
+	fx.inTask = ""
 }

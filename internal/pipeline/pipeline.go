@@ -9,11 +9,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"triplec/internal/bandwidth"
 	"triplec/internal/flowgraph"
 	"triplec/internal/frame"
 	"triplec/internal/memmodel"
+	"triplec/internal/parallel"
 	"triplec/internal/partition"
 	"triplec/internal/platform"
 	"triplec/internal/span"
@@ -99,6 +101,21 @@ func (r Report) Ran(name tasks.Name) bool {
 	return false
 }
 
+// StageMs returns the report's summed task time per pipeline stage: the
+// front half (everything through ROI estimation — the producers of the
+// inter-frame state the next frame's analysis consumes) and the back half
+// (guide-wire extraction, enhancement, zoom). frontMs+backMs == LatencyMs.
+func (r Report) StageMs() (frontMs, backMs float64) {
+	for _, e := range r.Execs {
+		if flowgraph.StageOf(e.Task) == flowgraph.StageBack {
+			backMs += e.Ms
+		} else {
+			frontMs += e.Ms
+		}
+	}
+	return frontMs, backMs
+}
+
 // Engine holds the task instances and the inter-frame state (previous
 // couple, estimated ROI, temporal-integration stack).
 //
@@ -107,7 +124,11 @@ func (r Report) Ran(name tasks.Name) bool {
 // calls on the same Engine are a data race; calls on *distinct* Engines are
 // safe to run concurrently (the constructor shares no mutable state between
 // instances). The multi-stream serving layer in internal/stream relies on
-// this one-engine-per-goroutine discipline.
+// this one-engine-per-goroutine discipline. RunPipelined (pipelined.go) is
+// the one sanctioned exception: it overlaps the back half of frame k with
+// the front half of frame k+1 on an internal goroutine, partitioning the
+// engine's state between the halves and serializing the shared fault
+// boundary (hook/gate) behind hookMu.
 type Engine struct {
 	cfg     Config
 	machine *platform.Machine
@@ -130,12 +151,37 @@ type Engine struct {
 
 	observer func(Report)
 	spans    *span.FrameBuilder // per-frame span staging; nil-safe when unset
+	workers  *parallel.Pool     // shared striping pool (SetWorkers); nil = private goroutines
 
 	// Fault boundary (see guard.go / degrade.go).
-	hook    func(task tasks.Name, frameIdx int)
-	gate    TaskGate
-	quality Quality
-	inTask  tasks.Name // task currently executing, for panic attribution
+	hook      func(task tasks.Name, frameIdx int)
+	gate      TaskGate
+	quality   Quality
+	hookMu    sync.Mutex // serializes hook/gate calls across pipeline halves
+	lockHooks bool       // true only inside RunPipelined
+}
+
+// frameExec is one frame's in-flight execution state, threaded through the
+// begin → front → back → commit stages. The serial Process runs all four on
+// one goroutine; the pipelined executor hands the frameExec from the front
+// goroutine to the back goroutine (with a happens-before edge), so every
+// field is only ever touched by one goroutine at a time. Keeping the
+// per-frame state here — instead of on the Engine — is what lets two frames
+// be in flight at once: the Engine retains only the temporal state (prev*,
+// the enhancer stack, the frame counter), each with a single owning stage.
+type frameExec struct {
+	e *Engine
+	f *frame.Frame
+	m partition.Mapping
+
+	rep      Report
+	bounds   frame.Rect
+	rdgOn    bool
+	roiKnown bool
+	couple   *tasks.Couple
+	regOK    bool
+	newROI   frame.Rect
+	inTask   tasks.Name // task currently executing, for panic attribution
 }
 
 // New builds an engine for the given configuration.
@@ -197,6 +243,14 @@ func (e *Engine) Config() Config { return e.cfg }
 // hook.
 func (e *Engine) SetObserver(fn func(Report)) { e.observer = fn }
 
+// SetWorkers installs a shared worker pool for the engine's real striping:
+// with a pool set, RealStriping task executions run their stripes on the
+// pool's workers (parallel.StripesOn) instead of spawning fresh goroutines,
+// so independent streams batching stripes through one pool share the host's
+// fixed concurrency. A nil pool restores private goroutines. Same
+// single-goroutine contract as Process.
+func (e *Engine) SetWorkers(p *parallel.Pool) { e.workers = p }
+
 // Params exposes the calibrated cost parameters.
 func (e *Engine) Params() tasks.CostParams { return e.params }
 
@@ -210,27 +264,190 @@ func (e *Engine) Reset() {
 }
 
 // charge computes a task's execution time under the mapping and appends the
-// record to the report.
-func (e *Engine) charge(rep *Report, name tasks.Name, cost platform.Cost, rdgOn bool, m partition.Mapping) {
+// record to the frame's report.
+func (e *Engine) charge(fx *frameExec, name tasks.Name, cost platform.Cost) {
 	// Add the intra-task external-memory traffic from the cache analysis at
 	// the modeled geometry.
-	kb, err := bandwidth.IntraTaskKB(name, rdgOn, e.cfg.ModelFrameKB, e.cfg.Arch.L2.SizeBytes/1024)
+	kb, err := bandwidth.IntraTaskKB(name, fx.rdgOn, e.cfg.ModelFrameKB, e.cfg.Arch.L2.SizeBytes/1024)
 	if err == nil {
 		cost.MemBytes += float64(kb) * 1024
 	} else {
-		rep.AccountingErrs = append(rep.AccountingErrs,
+		fx.rep.AccountingErrs = append(fx.rep.AccountingErrs,
 			fmt.Sprintf("%s: bandwidth accounting: %v", name, err))
 	}
-	k := m.StripesFor(name)
+	k := fx.m.StripesFor(name)
 	ms := e.machine.StripedMs(cost, k)
-	rep.Execs = append(rep.Execs, TaskExec{Task: name, Cost: cost, Stripes: k, Ms: ms})
-	rep.LatencyMs += ms
+	fx.rep.Execs = append(fx.rep.Execs, TaskExec{Task: name, Cost: cost, Stripes: k, Ms: ms})
+	fx.rep.LatencyMs += ms
 	e.spans.EndTask(ms, k)
 	// Reaching charge means the task completed: feed the breaker a success
 	// (failures are recorded by recoverFrame before the charge is reached).
 	if e.gate != nil && gatedTask(name) {
-		e.gate.Record(name, true)
+		e.recordGate(name, true)
 	}
+}
+
+// begin validates the inputs, opens the frame's span, and allocates the
+// frame's execution state. The frame counter advances here — before the
+// tasks run — so the pipelined executor can begin frame k+1 while frame k's
+// back half is still in flight; a failed frame still consumes its index,
+// exactly as the serial accounting always did.
+func (e *Engine) begin(f *frame.Frame, m partition.Mapping) (*frameExec, error) {
+	if f == nil || f.Pixels() == 0 {
+		return nil, errors.New("pipeline: empty frame")
+	}
+	if m == nil {
+		m = partition.Serial()
+	}
+	if err := m.Validate(e.cfg.Arch.NumCPUs); err != nil {
+		return nil, err
+	}
+	e.spans.BeginFrame(e.frameIdx)
+	fx := &frameExec{
+		e:      e,
+		f:      f,
+		m:      m,
+		bounds: f.Bounds,
+		// Nine task slots at most (detect, rdg, mkx, cpls, reg, roi, gw,
+		// enh, zoom); preallocating keeps the per-frame loop free of append
+		// growth.
+		rep: Report{Index: e.frameIdx, Mapping: m, Quality: e.quality, Execs: make([]TaskExec, 0, 9)},
+	}
+	e.frameIdx++
+	return fx, nil
+}
+
+// front runs the frame's front-stage tasks — DETECT through ROI_EST, the
+// producers of every piece of inter-frame state the *next* frame's analysis
+// consumes — and advances that state (prevFrame/prevCouple/prevROI) on
+// return. Once front returns, the next frame's front may start even while
+// this frame's back half is still running.
+func (fx *frameExec) front() {
+	e := fx.e
+	f := fx.f
+
+	// Switch 1: are dominant structures present (is RDG required)?
+	e.enter(fx, tasks.NameDetect)
+	rdgOn, dCost := e.detect.Run(f)
+	fx.rdgOn = rdgOn
+	e.charge(fx, tasks.NameDetect, dCost)
+
+	// Granularity: ROI processing when the previous frame estimated one.
+	fx.roiKnown = !e.prevROI.Empty()
+	analysis := f
+	if fx.roiKnown {
+		analysis = f.SubFrame(e.prevROI)
+	}
+	fx.rep.AnalysisPixels = analysis.Pixels()
+
+	// RDG variant per switch 1 and the granularity; the variant may be shed
+	// by the quality level or an open circuit (MKX then runs unfiltered on
+	// the analysis region, exactly the RDG-off path of the flow graph).
+	var ridge *tasks.RidgeResult
+	if rdgOn {
+		name := tasks.NameRDGFull
+		if fx.roiKnown {
+			name = tasks.NameRDGROI
+		}
+		if e.allowTask(fx, name) {
+			e.enter(fx, name)
+			var rCost platform.Cost
+			if k := fx.m.StripesFor(name); e.cfg.RealStriping && k > 1 {
+				ridge, rCost = e.rdg.RunStripedOn(e.workers, analysis, k)
+			} else {
+				ridge, rCost = e.rdg.Run(analysis)
+			}
+			e.charge(fx, name, rCost)
+		}
+	}
+
+	// Marker extraction and couples selection.
+	e.enter(fx, tasks.NameMKXExt)
+	cands, mCost := e.mkx.Run(analysis, ridge)
+	e.charge(fx, tasks.NameMKXExt, mCost)
+	fx.rep.Candidates = len(cands)
+	if ridge != nil {
+		// The ridge frames only feed MKX within this frame; recycle them.
+		frame.Release(ridge.Response)
+		frame.Release(ridge.Mask)
+		ridge.Response, ridge.Mask = nil, nil
+	}
+
+	e.enter(fx, tasks.NameCPLSSel)
+	couple, cCost := e.cpls.Run(cands)
+	e.charge(fx, tasks.NameCPLSSel, cCost)
+	fx.rep.Couple = couple
+	fx.couple = couple
+
+	// Temporal registration against the previous frame (switch 3 input).
+	e.enter(fx, tasks.NameREG)
+	reg, gCost := e.reg.Run(e.prevFrame, f, e.prevCouple, couple)
+	e.charge(fx, tasks.NameREG, gCost)
+	fx.rep.Registration = reg
+	fx.regOK = reg.OK
+
+	if reg.OK {
+		// ROI estimation stays in the front half even though it runs after
+		// registration: the next frame's analysis granularity is this ROI.
+		e.enter(fx, tasks.NameROIEst)
+		var roiCost platform.Cost
+		fx.newROI, roiCost = e.roiEst.Run(couple, fx.bounds)
+		e.charge(fx, tasks.NameROIEst, roiCost)
+		fx.rep.ROI = fx.newROI
+	}
+
+	// Advance the inter-frame analysis state: this is the registration
+	// dependency edge the pipeline is bounded by, so it must happen at the
+	// end of the front half, not after the back half.
+	e.prevFrame = f
+	if couple != nil {
+		e.prevCouple = couple
+	} else {
+		e.prevCouple = nil
+	}
+	e.prevROI = fx.newROI
+}
+
+// back runs the frame's back-stage tasks — guide-wire extraction,
+// enhancement, zoom — which feed nothing into the next frame's front half.
+// The enhancer's temporal stack is back-stage state: consecutive backs are
+// serialized, so its updates (including the reset on a failed registration)
+// stay ordered even when this back overlaps the next frame's front.
+func (fx *frameExec) back() {
+	e := fx.e
+	if !fx.regOK {
+		// A broken registration invalidates the temporal stack.
+		e.enh.Reset()
+		return
+	}
+	if e.allowTask(fx, tasks.NameGWExt) {
+		e.enter(fx, tasks.NameGWExt)
+		var gwCost platform.Cost
+		fx.rep.GuideWire, gwCost = e.gw.Run(fx.f, fx.couple)
+		e.charge(fx, tasks.NameGWExt, gwCost)
+	}
+
+	e.enter(fx, tasks.NameENH)
+	enhanced, eCost := e.enh.Run(fx.f, fx.couple)
+	e.charge(fx, tasks.NameENH, eCost)
+
+	if e.allowTask(fx, tasks.NameZOOM) {
+		e.enter(fx, tasks.NameZOOM)
+		out, zCost := e.zoom.Run(enhanced)
+		e.charge(fx, tasks.NameZOOM, zCost)
+		fx.rep.Output = out
+	}
+}
+
+// commit finalizes the frame's report and fires the observer. It runs on
+// the coordinating goroutine in both the serial and the pipelined executor.
+func (fx *frameExec) commit() Report {
+	fx.rep.Scenario = flowgraph.Scenario{RDGOn: fx.rdgOn, ROIKnown: fx.roiKnown, RegSuccess: fx.regOK}
+	fx.inTask = ""
+	if fx.e.observer != nil {
+		fx.e.observer(fx.rep)
+	}
+	return fx.rep
 }
 
 // Process runs one frame through the flow graph under the given mapping and
@@ -241,130 +458,18 @@ func (e *Engine) charge(rep *Report, name tasks.Name, cost platform.Cost, rdgOn 
 // recovered into a *TaskError, the frame fails, and the engine resets its
 // inter-frame state so the next frame starts from a clean temporal stack.
 func (e *Engine) Process(f *frame.Frame, m partition.Mapping) (rep Report, err error) {
-	if f == nil || f.Pixels() == 0 {
-		return Report{}, errors.New("pipeline: empty frame")
-	}
-	if m == nil {
-		m = partition.Serial()
-	}
-	if err := m.Validate(e.cfg.Arch.NumCPUs); err != nil {
+	fx, err := e.begin(f, m)
+	if err != nil {
 		return Report{}, err
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			e.recoverFrame(r, &rep, &err)
+			e.recoverFrame(fx, r, &rep, &err)
 		}
 	}()
-	e.spans.BeginFrame(e.frameIdx)
-	// Nine task slots at most (detect, rdg, mkx, cpls, reg, roi, gw, enh,
-	// zoom); preallocating keeps the per-frame loop free of append growth.
-	rep = Report{Index: e.frameIdx, Mapping: m, Quality: e.quality, Execs: make([]TaskExec, 0, 9)}
-	bounds := f.Bounds
-
-	// Switch 1: are dominant structures present (is RDG required)?
-	e.enter(tasks.NameDetect)
-	rdgOn, dCost := e.detect.Run(f)
-	e.charge(&rep, tasks.NameDetect, dCost, rdgOn, m)
-
-	// Granularity: ROI processing when the previous frame estimated one.
-	roiKnown := !e.prevROI.Empty()
-	analysis := f
-	if roiKnown {
-		analysis = f.SubFrame(e.prevROI)
-	}
-	rep.AnalysisPixels = analysis.Pixels()
-
-	// RDG variant per switch 1 and the granularity; the variant may be shed
-	// by the quality level or an open circuit (MKX then runs unfiltered on
-	// the analysis region, exactly the RDG-off path of the flow graph).
-	var ridge *tasks.RidgeResult
-	if rdgOn {
-		name := tasks.NameRDGFull
-		if roiKnown {
-			name = tasks.NameRDGROI
-		}
-		if e.allowTask(&rep, name) {
-			e.enter(name)
-			var rCost platform.Cost
-			if k := m.StripesFor(name); e.cfg.RealStriping && k > 1 {
-				ridge, rCost = e.rdg.RunStriped(analysis, k)
-			} else {
-				ridge, rCost = e.rdg.Run(analysis)
-			}
-			e.charge(&rep, name, rCost, rdgOn, m)
-		}
-	}
-
-	// Marker extraction and couples selection.
-	e.enter(tasks.NameMKXExt)
-	cands, mCost := e.mkx.Run(analysis, ridge)
-	e.charge(&rep, tasks.NameMKXExt, mCost, rdgOn, m)
-	rep.Candidates = len(cands)
-	if ridge != nil {
-		// The ridge frames only feed MKX within this frame; recycle them.
-		frame.Release(ridge.Response)
-		frame.Release(ridge.Mask)
-		ridge.Response, ridge.Mask = nil, nil
-	}
-
-	e.enter(tasks.NameCPLSSel)
-	couple, cCost := e.cpls.Run(cands)
-	e.charge(&rep, tasks.NameCPLSSel, cCost, rdgOn, m)
-	rep.Couple = couple
-
-	// Temporal registration against the previous frame (switch 3 input).
-	e.enter(tasks.NameREG)
-	reg, gCost := e.reg.Run(e.prevFrame, f, e.prevCouple, couple)
-	e.charge(&rep, tasks.NameREG, gCost, rdgOn, m)
-	rep.Registration = reg
-
-	newROI := frame.Rect{}
-	if reg.OK {
-		// ROI estimation, guide-wire verification, enhancement, zoom.
-		e.enter(tasks.NameROIEst)
-		var roiCost platform.Cost
-		newROI, roiCost = e.roiEst.Run(couple, bounds)
-		e.charge(&rep, tasks.NameROIEst, roiCost, rdgOn, m)
-		rep.ROI = newROI
-
-		if e.allowTask(&rep, tasks.NameGWExt) {
-			e.enter(tasks.NameGWExt)
-			var gwCost platform.Cost
-			rep.GuideWire, gwCost = e.gw.Run(f, couple)
-			e.charge(&rep, tasks.NameGWExt, gwCost, rdgOn, m)
-		}
-
-		e.enter(tasks.NameENH)
-		enhanced, eCost := e.enh.Run(f, couple)
-		e.charge(&rep, tasks.NameENH, eCost, rdgOn, m)
-
-		if e.allowTask(&rep, tasks.NameZOOM) {
-			e.enter(tasks.NameZOOM)
-			out, zCost := e.zoom.Run(enhanced)
-			e.charge(&rep, tasks.NameZOOM, zCost, rdgOn, m)
-			rep.Output = out
-		}
-	} else {
-		// A broken registration invalidates the temporal stack.
-		e.enh.Reset()
-	}
-
-	rep.Scenario = flowgraph.Scenario{RDGOn: rdgOn, ROIKnown: roiKnown, RegSuccess: reg.OK}
-
-	// Advance inter-frame state.
-	e.inTask = ""
-	e.frameIdx++
-	e.prevFrame = f
-	if couple != nil {
-		e.prevCouple = couple
-	} else {
-		e.prevCouple = nil
-	}
-	e.prevROI = newROI
-	if e.observer != nil {
-		e.observer(rep)
-	}
-	return rep, nil
+	fx.front()
+	fx.back()
+	return fx.commit(), nil
 }
 
 // RunSequence processes frames[0..n) from a frame source function under a

@@ -33,12 +33,18 @@ func (m *Manager) PredictedDemandMs() float64 {
 }
 
 // SplitCores divides total cores across applications proportionally to
-// their predicted per-frame demand (ms of serial work), guaranteeing every
-// application at least one core. The fractional shares are settled by
-// largest remainder so the budgets always sum to exactly total (or to
-// len(demands) when there are more applications than cores — the shared
-// worker pool then serializes the overflow). Zero or negative demands are
-// treated as zero and receive only the one-core floor.
+// their predicted per-frame demand (ms of serial work). The fractional
+// shares are settled by largest remainder, and the returned budgets sum to
+// exactly total for every input — SplitCores never over-commits the
+// machine. When there are at least as many cores as applications, every
+// application is floored at one core. When there are *more applications
+// than cores* (the oversubscribed serving regime), the total
+// highest-demand applications receive one core each (ties broken by lower
+// index for determinism) and the rest receive a zero budget — the shed
+// signal: a zero-budget stream must time-slice (the serving controller
+// alternates it between skipped and serial frames) instead of pretending
+// it owns a core that does not exist. Zero, negative and non-finite
+// demands are treated as zero.
 func SplitCores(total int, demands []float64) ([]int, error) {
 	n := len(demands)
 	if n == 0 {
@@ -48,6 +54,27 @@ func SplitCores(total int, demands []float64) ([]int, error) {
 		return nil, fmt.Errorf("sched: cannot split %d cores", total)
 	}
 	budgets := make([]int, n)
+	if total < n {
+		// Deterministic degradation: one core each for the total
+		// highest-demand applications, zero for the rest. Sorting the
+		// indices (not the demands) keeps ties stable by index.
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		d := func(i int) float64 {
+			v := demands[i]
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return v
+		}
+		sort.SliceStable(order, func(a, b int) bool { return d(order[a]) > d(order[b]) })
+		for _, i := range order[:total] {
+			budgets[i] = 1
+		}
+		return budgets, nil
+	}
 	for i := range budgets {
 		budgets[i] = 1
 	}
@@ -297,7 +324,11 @@ func (mm *MultiManager) ActiveStreams() int {
 	return n
 }
 
-// BudgetFor returns stream i's current core budget.
+// BudgetFor returns stream i's current core budget. A zero budget is the
+// shed signal: either the stream was retired, or the machine is
+// oversubscribed (more live streams than cores) and this stream lost the
+// demand ranking — it must time-slice rather than plan with cores it does
+// not own.
 func (mm *MultiManager) BudgetFor(i int) int {
 	mm.mu.Lock()
 	defer mm.mu.Unlock()

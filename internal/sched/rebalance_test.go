@@ -2,6 +2,7 @@ package sched
 
 import (
 	"math"
+	"math/rand"
 	"sync"
 	"testing"
 )
@@ -37,13 +38,76 @@ func TestSplitCoresFloorsAtOne(t *testing.T) {
 }
 
 func TestSplitCoresMoreStreamsThanCores(t *testing.T) {
+	// Regression: SplitCores used to hand every stream a one-core floor even
+	// when that over-committed the machine (3 "cores" granted on a 2-core
+	// split). The oversubscribed regime now degrades deterministically: the
+	// total highest-demand streams get one core, the rest get the zero-budget
+	// shed signal, and the budgets never sum past the machine.
 	b, err := SplitCores(2, []float64{5, 5, 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, v := range b {
-		if v != 1 {
-			t.Fatalf("stream %d got %d cores, want the one-core floor", i, v)
+	if b[0] != 1 || b[1] != 1 || b[2] != 0 {
+		t.Fatalf("budgets %v, want [1 1 0] (ties broken by lower index)", b)
+	}
+	// Demand ranking decides who keeps a core, not position.
+	b, err = SplitCores(2, []float64{1, 9, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0 || b[1] != 1 || b[2] != 1 {
+		t.Fatalf("budgets %v, want [0 1 1] (highest demand first)", b)
+	}
+	// Non-finite and negative demands rank as zero instead of poisoning the
+	// sort.
+	b, err = SplitCores(1, []float64{math.NaN(), 2, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0 || b[1] != 1 || b[2] != 0 {
+		t.Fatalf("budgets %v, want [0 1 0]", b)
+	}
+}
+
+// Acceptance property: for any machine size and any demand vector — including
+// negative, NaN and Inf entries — the returned budgets are non-negative and
+// sum to exactly the machine size. SplitCores must never over-commit.
+func TestSplitCoresNeverOverCommits(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 500; trial++ {
+		total := 1 + rng.Intn(32)
+		n := 1 + rng.Intn(12)
+		demands := make([]float64, n)
+		for i := range demands {
+			switch rng.Intn(6) {
+			case 0:
+				demands[i] = math.NaN()
+			case 1:
+				demands[i] = math.Inf(1)
+			case 2:
+				demands[i] = -rng.Float64() * 100
+			case 3:
+				demands[i] = 0
+			default:
+				demands[i] = rng.Float64() * 100
+			}
+		}
+		b, err := SplitCores(total, demands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0
+		for i, v := range b {
+			if v < 0 {
+				t.Fatalf("trial %d: negative budget %d for stream %d (total %d, demands %v)", trial, v, i, total, demands)
+			}
+			if total >= n && v < 1 {
+				t.Fatalf("trial %d: stream %d lost its one-core floor with %d cores for %d streams", trial, i, total, n)
+			}
+			sum += v
+		}
+		if sum != total {
+			t.Fatalf("trial %d: budgets %v sum to %d, want exactly %d (demands %v)", trial, b, sum, total, demands)
 		}
 	}
 }
@@ -79,12 +143,8 @@ func TestSplitCoresExactSum(t *testing.T) {
 		for _, v := range b {
 			sum += v
 		}
-		want := total
-		if want < len(b) {
-			want = len(b)
-		}
-		if sum != want {
-			t.Fatalf("total %d: budgets %v sum to %d, want %d", total, b, sum, want)
+		if sum != total {
+			t.Fatalf("total %d: budgets %v sum to %d, want %d", total, b, sum, total)
 		}
 	}
 }
@@ -230,6 +290,43 @@ func TestMultiManagerRetire(t *testing.T) {
 	mm.Retire(99)
 	if mm.ActiveStreams() != 3 || mm.Rebalances() != before+1 {
 		t.Fatal("repeated retire was not a no-op")
+	}
+}
+
+// An oversubscribed arbiter (more streams than cores) must hand out zero
+// budgets instead of over-committing, and Retire's immediate re-split must
+// promote a shed stream once a core frees up.
+func TestMultiManagerOversubscribed(t *testing.T) {
+	mm, err := NewMultiManager(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func() int {
+		s := 0
+		for i := 0; i < 4; i++ {
+			s += mm.BudgetFor(i)
+		}
+		return s
+	}
+	if sum() != 2 {
+		t.Fatalf("initial oversubscribed budgets sum to %d, want 2", sum())
+	}
+	for i := 0; i < 4; i++ {
+		mm.ReportDemand(i, float64(10*(i+1)))
+	}
+	b := mm.Rebalance()
+	if b[2] != 1 || b[3] != 1 || b[0] != 0 || b[1] != 0 {
+		t.Fatalf("budgets %v, want the two highest-demand streams to hold the cores", b)
+	}
+	// Retiring a core-holding stream re-splits among the three survivors:
+	// the two highest-demand live streams (1 and 2) now hold the cores.
+	mm.Retire(3)
+	b = []int{mm.BudgetFor(0), mm.BudgetFor(1), mm.BudgetFor(2), mm.BudgetFor(3)}
+	if b[1] != 1 || b[2] != 1 || b[0] != 0 || b[3] != 0 {
+		t.Fatalf("post-retire budgets %v, want [0 1 1 0]", b)
+	}
+	if sum() != 2 {
+		t.Fatalf("post-retire budgets sum to %d, want 2", sum())
 	}
 }
 

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Injected NaN/Inf samples must never change the percentile of the finite
+// samples: property-tested over random series, injection positions and
+// percentile ranks.
+func TestPercentileIgnoresNonFinite(t *testing.T) {
+	rng := NewRNG(61)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + int(rng.Uint64()%40)
+		finite := make([]float64, n)
+		for i := range finite {
+			finite[i] = rng.Float64()*200 - 50
+		}
+		p := float64(rng.Uint64() % 101)
+		want, err := Percentile(finite, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Inject 1..8 non-finite samples at random positions.
+		poisoned := append([]float64(nil), finite...)
+		for k := 0; k < 1+int(rng.Uint64()%8); k++ {
+			bad := math.NaN()
+			switch rng.Uint64() % 3 {
+			case 1:
+				bad = math.Inf(1)
+			case 2:
+				bad = math.Inf(-1)
+			}
+			pos := int(rng.Uint64() % uint64(len(poisoned)+1))
+			poisoned = append(poisoned[:pos], append([]float64{bad}, poisoned[pos:]...)...)
+		}
+		got, err := Percentile(poisoned, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: P%.0f with injected non-finite samples = %v, want %v (finite %v, poisoned %v)",
+				trial, p, got, want, finite, poisoned)
+		}
+	}
+}
+
+func TestPercentileAllNonFinite(t *testing.T) {
+	if _, err := Percentile([]float64{math.NaN(), math.Inf(1)}, 50); err == nil {
+		t.Fatal("all-non-finite series must be rejected, not interpolated")
+	}
+	if _, err := Percentile([]float64{1, 2, 3}, math.NaN()); err == nil {
+		t.Fatal("NaN percentile rank accepted")
+	}
+}
+
+func TestHistogramIgnoresNonFinite(t *testing.T) {
+	finite := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	wantCounts, wantEdges, err := Histogram(finite, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisoned := append([]float64{math.Inf(1), math.NaN()}, finite...)
+	poisoned = append(poisoned, math.Inf(-1))
+	counts, edges, err := Histogram(poisoned, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantCounts {
+		if counts[i] != wantCounts[i] {
+			t.Fatalf("counts %v, want %v", counts, wantCounts)
+		}
+	}
+	for i := range wantEdges {
+		if edges[i] != wantEdges[i] {
+			t.Fatalf("edges %v, want %v", edges, wantEdges)
+		}
+	}
+	if _, _, err := Histogram([]float64{math.NaN()}, 2); err == nil {
+		t.Fatal("all-NaN histogram accepted")
+	}
+}

@@ -86,15 +86,40 @@ func Sum(xs []float64) float64 {
 	return s
 }
 
+// finiteOnly returns the finite samples of xs, reusing xs when every sample
+// already is (the common case pays no copy).
+func finiteOnly(xs []float64) []float64 {
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			out := make([]float64, i, len(xs))
+			copy(out, xs[:i])
+			for _, y := range xs[i+1:] {
+				if !math.IsNaN(y) && !math.IsInf(y, 0) {
+					out = append(out, y)
+				}
+			}
+			return out
+		}
+	}
+	return xs
+}
+
 // Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
-// interpolation between closest ranks. It returns an error for empty input
-// or out-of-range p.
+// interpolation between closest ranks. NaN and Inf samples are skipped —
+// sort.Float64s places NaNs unpredictably, which would poison the rank
+// interpolation for every finite sample (the same hazard the Chart NaN-skip
+// fix closed for plotting). It returns an error for empty input, input with
+// no finite samples, or out-of-range p.
 func Percentile(xs []float64, p float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
-	if p < 0 || p > 100 {
+	if p < 0 || p > 100 || math.IsNaN(p) {
 		return 0, errors.New("stats: percentile out of range")
+	}
+	xs = finiteOnly(xs)
+	if len(xs) == 0 {
+		return 0, errors.New("stats: no finite samples")
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
@@ -238,13 +263,19 @@ func Pearson(xs, ys []float64) (float64, error) {
 
 // Histogram bins xs into nbins equal-width bins spanning [min, max] and
 // returns the counts and the bin edges (nbins+1 values). Values exactly at
-// max land in the last bin.
+// max land in the last bin. NaN and Inf samples are skipped — a single
+// non-finite sample would otherwise poison the [min, max] span and with it
+// every bin edge.
 func Histogram(xs []float64, nbins int) (counts []int, edges []float64, err error) {
 	if len(xs) == 0 {
 		return nil, nil, ErrEmpty
 	}
 	if nbins < 1 {
 		return nil, nil, errors.New("stats: nbins must be >= 1")
+	}
+	xs = finiteOnly(xs)
+	if len(xs) == 0 {
+		return nil, nil, errors.New("stats: no finite samples")
 	}
 	lo, hi := Min(xs), Max(xs)
 	if hi == lo {

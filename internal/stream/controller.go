@@ -103,6 +103,17 @@ func (c *controller) load(demands []float64, budgets []float64) float64 {
 // core allocation and the aggregate load.
 func (c *controller) directive(i, frameIdx int) Directive {
 	cores := c.mm.BudgetFor(i)
+	if cores < 1 {
+		// Zero budget is the arbiter's shed signal (SplitCores in the
+		// oversubscribed regime: more live streams than cores). Time-slice
+		// deterministically — skip alternate frames, run the others serially
+		// on one borrowed core — instead of planning against a core this
+		// stream does not own.
+		if frameIdx%2 == 1 {
+			return Directive{Mode: ModeSkip, Cores: 1}
+		}
+		return Directive{Mode: ModeSerial, Cores: 1}
+	}
 	demands := c.mm.Demands()
 	c.mu.Lock()
 	budgets := make([]float64, len(c.budgetsMs))

@@ -418,6 +418,10 @@ func serveOne(si int, sc Config, n int, ctl *controller, pool *parallel.Pool, te
 			Reports: make([]pipeline.Report, 0, n),
 		},
 	}
+	// All streams stripe through the one shared host pool: batching the
+	// same-task stripes of independent streams through a single dispatch is
+	// what keeps N streams from oversubscribing the host (package doc).
+	r.eng.SetWorkers(pool)
 	tel.serving()
 	defer func() {
 		if r.res.Stats.Quarantined {

@@ -71,6 +71,9 @@ func (r *runner) supervised() {
 			mgr.BudgetMs = r.mgr.BudgetMs
 			r.tel.rewire(eng, mgr, r.mgr)
 			r.eng, r.mgr = eng, mgr
+			// The rebuilt engine stripes through the shared host pool like
+			// the original (serveOne wired the first one).
+			r.eng.SetWorkers(r.pool)
 			// Fresh builder + fan-out sink for the rebuilt pair (the old
 			// builder stays with the poisoned engine, never committed).
 			r.attachSpans()
@@ -78,8 +81,16 @@ func (r *runner) supervised() {
 		r.res.Stats.Restarts++
 		r.tel.restarted()
 		r.spanRestart(failedAt)
+		// MeanRecoveryMs averages *completed* recoveries only: a crash that
+		// ends in quarantine (above) never resumes serving, so its recovery
+		// time is abandoned rather than folded in, and Stats.Restarts stays
+		// at the completed count. The explicit guard keeps the accounting
+		// NaN-free even if a future path computes the mean before the first
+		// increment (quarantine on the very first restart leaves it zero).
 		recoverySumMs += float64(time.Since(crashedAt).Nanoseconds()) / 1e6
-		r.res.Stats.MeanRecoveryMs = recoverySumMs / float64(r.res.Stats.Restarts)
+		if n := r.res.Stats.Restarts; n > 0 {
+			r.res.Stats.MeanRecoveryMs = recoverySumMs / float64(n)
+		}
 		start = failedAt + 1
 	}
 }

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -270,8 +271,53 @@ func TestStallWithoutRebuildQuarantines(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "Rebuild") {
 		t.Fatalf("err %v, want quarantine naming the missing Rebuild hook", err)
 	}
-	if !out.Streams[0].Stats.Quarantined {
+	st := out.Streams[0].Stats
+	if !st.Quarantined {
 		t.Fatal("stream not quarantined")
+	}
+	// Quarantine on the very first crash: no restart ever completed, so the
+	// recovery accounting must stay at zero instead of dividing by a zero
+	// restart count.
+	if st.Restarts != 0 {
+		t.Fatalf("restarts = %d, want 0 (the first crash went straight to quarantine)", st.Restarts)
+	}
+	if st.MeanRecoveryMs != 0 || math.IsNaN(st.MeanRecoveryMs) {
+		t.Fatalf("MeanRecoveryMs = %v, want 0 with no completed recoveries", st.MeanRecoveryMs)
+	}
+}
+
+// TestQuarantineExcludesAbandonedRecovery: the crash that triggers quarantine
+// never completes its recovery, so the mean covers only the restarts that
+// actually resumed serving.
+func TestQuarantineExcludesAbandonedRecovery(t *testing.T) {
+	s := testStudy()
+	bad := mkStream(t, s, "budgeted", 73, 0)
+	src := bad.Source
+	bad.Source = func(i int) *frame.Frame {
+		if i >= 3 {
+			return nil // permanently broken source
+		}
+		return src(i)
+	}
+	// RestartBudget 1: the first crash restarts (MaxRestarts 5 tolerates it),
+	// the second exhausts the lifetime budget and quarantines.
+	srv, err := NewServer(ServerConfig{Supervise: true, MaxRestarts: 5, RestartBudget: 1, BackoffMs: 0.1}, []Config{bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := srv.Run(12)
+	if err == nil || !strings.Contains(err.Error(), "restart budget") {
+		t.Fatalf("err %v, want quarantine naming the exhausted restart budget", err)
+	}
+	st := out.Streams[0].Stats
+	if !st.Quarantined {
+		t.Fatal("stream not quarantined")
+	}
+	if st.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1 completed restart before quarantine", st.Restarts)
+	}
+	if st.MeanRecoveryMs <= 0 || math.IsNaN(st.MeanRecoveryMs) {
+		t.Fatalf("MeanRecoveryMs = %v, want a positive finite mean over the single completed recovery", st.MeanRecoveryMs)
 	}
 }
 

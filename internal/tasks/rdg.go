@@ -135,6 +135,14 @@ func (r *RidgeDetector) Run(in *frame.Frame) (*RidgeResult, platform.Cost) {
 // nature", paper §6). The result and the reported cost are identical to
 // Run; only the host wall-clock time changes.
 func (r *RidgeDetector) RunStriped(in *frame.Frame, k int) (*RidgeResult, platform.Cost) {
+	return r.RunStripedOn(nil, in, k)
+}
+
+// RunStripedOn is RunStriped with the stripes executed on a shared worker
+// pool (parallel.StripesOn) instead of fresh goroutines, so concurrent
+// streams batch their same-task stripes through one dispatch and share the
+// host's fixed concurrency. A nil pool behaves exactly like RunStriped.
+func (r *RidgeDetector) RunStripedOn(pool *parallel.Pool, in *frame.Frame, k int) (*RidgeResult, platform.Cost) {
 	pixels := in.Pixels()
 	if pixels == 0 {
 		return &RidgeResult{Response: frame.New(0, 0), Mask: frame.New(0, 0)},
@@ -145,14 +153,14 @@ func (r *RidgeDetector) RunStriped(in *frame.Frame, k int) (*RidgeResult, platfo
 	}
 	width, height := in.Width(), in.Height()
 	smoothed := frame.BorrowUninit(width, height)
-	smoothed = frame.GaussianBlurIntoParallel(smoothed, in, r.Sigma, k)
+	smoothed = frame.GaussianBlurIntoOn(pool, smoothed, in, r.Sigma, k)
 	defer frame.Release(smoothed)
 
 	resp := frame.Borrow(width, height)
 	resp.Bounds = in.Bounds
 	vals := r.scratch(pixels)
 	stripeMax := make([]float64, k)
-	parallel.ForStripes(height, k, func(stripe, lo, hi int) {
+	parallel.StripesOn(pool, height, k, func(stripe, lo, hi int) {
 		localMax := 0.0
 		for yy := lo; yy < hi; yy++ {
 			y := in.Bounds.Y0 + yy
@@ -188,7 +196,7 @@ func (r *RidgeDetector) RunStriped(in *frame.Frame, k int) (*RidgeResult, platfo
 		thr := r.RelThreshold * maxResp
 		scale := 65535.0 / maxResp
 		stripeCount := make([]int, k)
-		parallel.ForStripes(height, k, func(stripe, lo, hi int) {
+		parallel.StripesOn(pool, height, k, func(stripe, lo, hi int) {
 			n := 0
 			for yy := lo; yy < hi; yy++ {
 				rrow := resp.Pix[yy*width : yy*width+width]
