@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"triplec/internal/experiments"
+	"triplec/internal/mapping"
 	"triplec/internal/metrics"
 	"triplec/internal/sched"
 	"triplec/internal/span"
@@ -35,6 +36,8 @@ func runServe(args []string) error {
 	workers := fs.Int("workers", 0, "host worker-pool size (0 = GOMAXPROCS)")
 	rebalance := fs.Int("rebalance", 4, "demand reports between core re-divisions")
 	skipOver := fs.Float64("skip-over", 2.0, "aggregate load ratio beyond which frames are shed")
+	mapperName := fs.String("mapper", "greedy",
+		"core-mapping policy for re-divisions: greedy or optimizer (Pareto bi-criteria)")
 	csvPath := fs.String("csv", "", "write the merged per-stream series to this CSV file")
 	metricsAddr := fs.String("metrics-addr", "",
 		"serve GET /metrics (Prometheus), /healthz (JSON) and /debug/pprof/ on this address")
@@ -69,6 +72,20 @@ func runServe(args []string) error {
 	study := experiments.DefaultStudy()
 	study.TrainSeqs = *train
 	study.TrainFrames = 60
+
+	var mapper sched.Mapper
+	switch *mapperName {
+	case "greedy":
+		// nil Mapper: MultiManager runs its built-in greedy division.
+	case "optimizer":
+		opt, err := mapping.NewOptimizer(study.Arch)
+		if err != nil {
+			return err
+		}
+		mapper = opt
+	default:
+		return fmt.Errorf("serve: unknown -mapper %q (want greedy or optimizer)", *mapperName)
+	}
 
 	fmt.Printf("training Triple-C on %d sequences x %d frames...\n", study.TrainSeqs, study.TrainFrames)
 	cfgs := make([]stream.Config, *streams)
@@ -119,6 +136,7 @@ func runServe(args []string) error {
 		HostWorkers:    *workers,
 		RebalanceEvery: *rebalance,
 		SkipOver:       *skipOver,
+		Mapper:         mapper,
 		Metrics:        reg,
 		Flight:         flight,
 	}, cfgs)

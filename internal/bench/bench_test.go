@@ -47,37 +47,43 @@ func TestScenarioMatrixAxes(t *testing.T) {
 	}
 }
 
-// A tiny live run through one single-stream and one multi-stream scenario:
-// the budgets must respect the modeled machine, the measured pipelining
-// speedup must be real, and the assembled document must validate.
+// A tiny live run through one single-stream and one multi-stream scenario
+// with both mappers: the budgets must respect the modeled machine, the
+// measured pipelining speedup must be real, the outputs must stay
+// bit-identical to serial under both mapping policies, and the assembled
+// document must validate.
 func TestRunScenarioTiny(t *testing.T) {
 	scens := Scenarios()
 	var results []ScenarioResult
 	for _, idx := range []int{0, 2} { // 1x128-clean, 2x128-mixed
-		res, err := runScenario(scens[idx], uint64(1+8009*idx), 16)
+		res, err := runScenario(scens[idx], uint64(1+8009*idx), 16, MapperBoth)
 		if err != nil {
 			t.Fatal(err)
 		}
-		sum := 0
-		for _, b := range res.CoreBudgets {
-			sum += b
+		for _, run := range res.Runs() {
+			sum := 0
+			for _, b := range run.CoreBudgets {
+				sum += b
+			}
+			if sum > 8 {
+				t.Fatalf("%s/%s: budgets %v over-commit the 8-core model", res.Name, run.Mapper, run.CoreBudgets)
+			}
+			if run.PipelinedStreams == 0 && run.StripedStreams == 0 {
+				t.Fatalf("%s/%s: expected parallel structure with budgets %v", res.Name, run.Mapper, run.CoreBudgets)
+			}
+			if run.SpeedupMeasured <= 0 || run.SpeedupMeasured > 2.001 {
+				t.Fatalf("%s/%s: measured speedup %v outside (0, 2]", res.Name, run.Mapper, run.SpeedupMeasured)
+			}
+			if !run.OutputsIdentical {
+				t.Fatalf("%s/%s: outputs diverged from the serial baseline", res.Name, run.Mapper)
+			}
 		}
-		if sum > 8 {
-			t.Fatalf("%s: budgets %v over-commit the 8-core model", res.Name, res.CoreBudgets)
-		}
-		if res.PipelinedStreams == 0 {
-			t.Fatalf("%s: expected pipelining with budgets %v", res.Name, res.CoreBudgets)
-		}
-		if res.SpeedupMeasured <= 1 || res.SpeedupMeasured > 2.001 {
-			t.Fatalf("%s: measured speedup %v outside (1, 2]", res.Name, res.SpeedupMeasured)
-		}
-		if res.ThroughputGain < res.SpeedupMeasured-5e-3 {
-			t.Fatalf("%s: striped+pipelined gain %v below overlap speedup %v",
-				res.Name, res.ThroughputGain, res.SpeedupMeasured)
+		if res.OptOverGreedy <= 0 {
+			t.Fatalf("%s: missing opt_over_greedy in a both-mapper run", res.Name)
 		}
 		results = append(results, res)
 	}
-	tr := assemble(results, true)
+	tr := assemble(results, true, MapperBoth)
 	if err := tr.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -99,13 +105,23 @@ func TestRunScenarioTiny(t *testing.T) {
 	}
 }
 
-func validTrajectory() Trajectory {
-	return assemble([]ScenarioResult{{
-		Name: "a", Streams: 2, FramesPerStream: 16, CoreBudgets: []int{4, 4},
-		PipelinedStreams: 2, FPSSerial: 40, FPSPipelined: 80, ThroughputGain: 2,
+func validRun(mapper string, budgets []int, pipelined int, fps float64) MapperRun {
+	return MapperRun{
+		Mapper: mapper, CoreBudgets: budgets, PipelinedStreams: pipelined,
+		FPS: fps, ThroughputGain: fps / 40,
 		P50Ms: 20, P99Ms: 40, SpeedupMeasured: 1.3, SpeedupPredicted: 1.3,
-		RelErr: 0, MemBoundFrac: 0,
-	}}, false)
+		RelErr: 0, MemBoundFrac: 0, OutputsIdentical: true,
+	}
+}
+
+func validTrajectory() Trajectory {
+	res := ScenarioResult{
+		Name: "a", Streams: 2, FramesPerStream: 16, FPSSerial: 40,
+		Greedy:    validRun("greedy", []int{4, 4}, 2, 80),
+		Optimizer: validRun("optimizer", []int{5, 3}, 2, 88),
+	}
+	res.OptOverGreedy = round4(res.Optimizer.FPS / res.Greedy.FPS)
+	return assemble([]ScenarioResult{res}, false, MapperBoth)
 }
 
 func TestValidateRejectsCorruptDocuments(t *testing.T) {
@@ -118,17 +134,23 @@ func TestValidateRejectsCorruptDocuments(t *testing.T) {
 		wantSub string
 	}{
 		{"wrong schema", func(tr *Trajectory) { tr.Schema = "nope" }, "schema"},
-		{"overcommitted budgets", func(tr *Trajectory) { tr.Scenarios[0].CoreBudgets = []int{8, 8} }, "over-commit"},
-		{"budget count mismatch", func(tr *Trajectory) { tr.Scenarios[0].CoreBudgets = []int{8} }, "budgets for"},
-		{"zero fps", func(tr *Trajectory) { tr.Scenarios[0].FPSPipelined = 0 }, "fps_pipelined"},
-		{"inverted percentiles", func(tr *Trajectory) { tr.Scenarios[0].P50Ms = 99 }, "p50"},
+		{"bad mapper mode", func(tr *Trajectory) { tr.MapperMode = "magic" }, "mapper_mode"},
+		{"overcommitted budgets", func(tr *Trajectory) { tr.Scenarios[0].Greedy.CoreBudgets = []int{8, 8} }, "over-commit"},
+		{"budget count mismatch", func(tr *Trajectory) { tr.Scenarios[0].Optimizer.CoreBudgets = []int{8} }, "budgets for"},
+		{"zero fps", func(tr *Trajectory) { tr.Scenarios[0].Greedy.FPS = 0 }, "fps"},
+		{"zero serial fps", func(tr *Trajectory) { tr.Scenarios[0].FPSSerial = 0 }, "fps_serial"},
+		{"inverted percentiles", func(tr *Trajectory) { tr.Scenarios[0].Optimizer.P50Ms = 99 }, "p50"},
 		{"impossible speedup", func(tr *Trajectory) {
-			tr.Scenarios[0].SpeedupMeasured = 2.5
-			tr.Scenarios[0].SpeedupPredicted = 2.5
+			tr.Scenarios[0].Greedy.SpeedupMeasured = 2.5
+			tr.Scenarios[0].Greedy.SpeedupPredicted = 2.5
 			tr.Summary = summarize(tr.Scenarios)
 		}, "two-stage bound"},
-		{"inconsistent rel_err", func(tr *Trajectory) { tr.Scenarios[0].RelErr = 0.5 }, "rel_err"},
+		{"inconsistent rel_err", func(tr *Trajectory) { tr.Scenarios[0].Greedy.RelErr = 0.5 }, "rel_err"},
+		{"diverged outputs", func(tr *Trajectory) { tr.Scenarios[0].Optimizer.OutputsIdentical = false }, "outputs"},
+		{"missing optimizer run", func(tr *Trajectory) { tr.Scenarios[0].Optimizer = MapperRun{} }, "mapper run missing"},
+		{"inconsistent ratio", func(tr *Trajectory) { tr.Scenarios[0].OptOverGreedy = 3 }, "opt_over_greedy"},
 		{"stale summary", func(tr *Trajectory) { tr.Summary.ScenariosWithinQuarter = 0 }, "summary"},
+		{"stale aggregate", func(tr *Trajectory) { tr.Summary.AggFPSOptimizer += 1 }, "summary"},
 	}
 	for _, tc := range cases {
 		tr := validTrajectory()
@@ -151,22 +173,84 @@ func TestCheckEnforcesSpeedupFloor(t *testing.T) {
 	if err := tr.Check(1.4); err == nil {
 		t.Fatal("1.3 measured accepted at 1.4 floor")
 	}
-	// A scenario that never pipelined is exempt from the floor.
-	tr.Scenarios[0].PipelinedStreams = 0
+	// A run that never pipelined is exempt from the floor.
+	tr.Scenarios[0].Greedy.PipelinedStreams = 0
+	tr.Scenarios[0].Optimizer.PipelinedStreams = 0
 	if err := tr.Check(1.4); err != nil {
-		t.Fatalf("non-pipelined scenario gated: %v", err)
+		t.Fatalf("non-pipelined runs gated: %v", err)
+	}
+}
+
+// Check must name every scenario/mapper pair that missed the floor, not
+// just the first failure.
+func TestCheckCollectsAllViolations(t *testing.T) {
+	tr := validTrajectory()
+	second := tr.Scenarios[0]
+	second.Name = "b"
+	second.Greedy.SpeedupMeasured = 1.1
+	second.Greedy.RelErr = round4(0.2 / 1.1)
+	tr.Scenarios = append(tr.Scenarios, second)
+	tr.Summary = summarize(tr.Scenarios)
+
+	err := tr.Check(1.35)
+	if err == nil {
+		t.Fatal("floor of 1.35 accepted speedups of 1.3 and 1.1")
+	}
+	msg := err.Error()
+	for _, want := range []string{"a/greedy", "a/optimizer", "b/greedy", "b/optimizer"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q does not name %s", msg, want)
+		}
+	}
+	// Floor between the two: only the lower one is named.
+	err = tr.Check(1.2)
+	if err == nil {
+		t.Fatal("floor of 1.2 accepted a 1.1 speedup")
+	}
+	msg = err.Error()
+	if !strings.Contains(msg, "b/greedy") {
+		t.Fatalf("error %q does not name b/greedy", msg)
+	}
+	if strings.Contains(msg, "a/greedy") || strings.Contains(msg, "b/optimizer") {
+		t.Fatalf("error %q names runs that met the floor", msg)
+	}
+}
+
+func TestCheckOptimizerGate(t *testing.T) {
+	tr := validTrajectory()
+	if err := tr.CheckOptimizer(); err != nil {
+		t.Fatalf("optimizer ahead of greedy rejected: %v", err)
+	}
+	// Aggregate regression beyond tolerance.
+	tr.Scenarios[0].Optimizer.FPS = 70
+	tr.Scenarios[0].Optimizer.ThroughputGain = round4(70.0 / 40)
+	tr.Scenarios[0].OptOverGreedy = round4(70.0 / 80)
+	tr.Summary = summarize(tr.Scenarios)
+	err := tr.CheckOptimizer()
+	if err == nil {
+		t.Fatal("12.5% aggregate regression accepted")
+	}
+	if !strings.Contains(err.Error(), "aggregate") {
+		t.Fatalf("error %q does not mention the aggregate gate", err)
+	}
+	// Single-mapper documents cannot be gated.
+	tr.MapperMode = MapperGreedy
+	if err := tr.CheckOptimizer(); err == nil {
+		t.Fatal("single-mapper trajectory accepted by the optimizer gate")
 	}
 }
 
 // The checked-in trajectory point must parse, validate, and meet the PR's
-// acceptance thresholds: ≥1.3x throughput on a multi-stream scenario and
-// the estimator within 25% of measured on ≥6 of 8 scenarios. The file is
-// pure machine-model time, so this is deterministic; if modeled times
-// change, regenerate it with `triplec bench`.
+// acceptance thresholds: optimizer at or above greedy on aggregate
+// throughput, at least one scenario improving ≥10%, bit-identical outputs,
+// ≥1.3x throughput on a multi-stream scenario, and the estimator within 25%
+// of measured on ≥6 of 8 scenarios. The file is pure machine-model time, so
+// this is deterministic; if modeled times change, regenerate it with
+// `triplec bench`.
 func TestCheckedInTrajectory(t *testing.T) {
-	f, err := os.Open(filepath.Join("..", "..", "BENCH_6.json"))
+	f, err := os.Open(filepath.Join("..", "..", "BENCH_7.json"))
 	if err != nil {
-		t.Fatalf("BENCH_6.json missing (regenerate with `triplec bench`): %v", err)
+		t.Fatalf("BENCH_7.json missing (regenerate with `triplec bench`): %v", err)
 	}
 	defer f.Close()
 	tr, err := Load(f)
@@ -179,6 +263,9 @@ func TestCheckedInTrajectory(t *testing.T) {
 	if tr.PR != PR || tr.Short {
 		t.Fatalf("checked-in file must be a full run for PR %d, got pr=%d short=%v", PR, tr.PR, tr.Short)
 	}
+	if tr.MapperMode != MapperBoth {
+		t.Fatalf("checked-in file must compare both mappers, got mode %q", tr.MapperMode)
+	}
 	if len(tr.Scenarios) != len(Scenarios()) {
 		t.Fatalf("%d scenarios, want %d", len(tr.Scenarios), len(Scenarios()))
 	}
@@ -189,7 +276,24 @@ func TestCheckedInTrajectory(t *testing.T) {
 		t.Fatalf("estimator within 25%% on only %d/%d scenarios, need ≥6",
 			tr.Summary.ScenariosWithinQuarter, len(tr.Scenarios))
 	}
+	if tr.Summary.AggOptOverGreedy < 1.0 {
+		t.Fatalf("optimizer aggregate throughput %.4f of greedy, want ≥ 1.0", tr.Summary.AggOptOverGreedy)
+	}
+	if tr.Summary.BestOptOverGreedy < 1.10 {
+		t.Fatalf("best per-scenario optimizer gain %.4f over greedy, want ≥ 1.10", tr.Summary.BestOptOverGreedy)
+	}
+	for i := range tr.Scenarios {
+		r := &tr.Scenarios[i]
+		for _, run := range r.Runs() {
+			if !run.OutputsIdentical {
+				t.Fatalf("%s/%s: outputs not bit-identical to serial", r.Name, run.Mapper)
+			}
+		}
+	}
 	if err := tr.Check(1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckOptimizer(); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -73,3 +73,29 @@ func (s Scenario) stageTasks(st Stage) []tasks.Name {
 	}
 	return out
 }
+
+// CutKB returns the scenario's per-frame data volume crossing the
+// front/back stage cut: the sum of the edges whose producer is a front-stage
+// task and whose consumer is a back-stage task. This is the handoff traffic
+// a pipelined mapping moves between the two core partitions every frame —
+// the communication-cost term the mapping optimizer charges a candidate for
+// overlapping the stages on disjoint cores. Edges fed by the frame source
+// (INPUT) are excluded: that data reaches either partition straight from
+// the acquisition buffer. Scenarios with a failed registration have an
+// empty back stage and a zero cut.
+func (s Scenario) CutKB(frameKB int) (int, error) {
+	edges, err := s.Edges(frameKB)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, e := range edges {
+		if e.From == NodeInput || e.To == NodeOutput {
+			continue
+		}
+		if StageOf(e.From) == StageFront && StageOf(e.To) == StageBack {
+			total += e.KB
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,154 @@
+// Package mapping is the bi-criteria stage-to-core mapping optimizer: for
+// each stream it enumerates interval mappings of the flow-graph stages onto
+// the stream's core allocation, scores every candidate with the scenario-
+// conditioned demand model (per-task machine-model stage times, the memory
+// roofline of internal/speedup, and a communication term for the stage
+// handoff), keeps the Pareto front over (latency, period), and picks one
+// point off the front with scenario-pressure-adaptive weights. A dynamic
+// program then divides the machine across streams by the same weighted
+// objective. The shape follows "Bi-criteria Pipeline Mappings for Parallel
+// Image Processing" (Benoit et al.): interval mappings, latency/period
+// bi-criteria, and the observation that proportional scalar splits ignore
+// the graph structure the criteria depend on.
+package mapping
+
+import (
+	"math"
+
+	"triplec/internal/flowgraph"
+	"triplec/internal/partition"
+	"triplec/internal/pipeline"
+	"triplec/internal/platform"
+	"triplec/internal/sched"
+	"triplec/internal/speedup"
+	"triplec/internal/tasks"
+)
+
+// Candidate is one evaluated stage-to-core mapping for a single stream:
+// the executable plan plus its predicted criteria under the stream's
+// scenario-conditioned cost profile.
+type Candidate struct {
+	Plan sched.StreamPlan
+	// LatencyMs is the scenario-weighted mean frame latency: front + back
+	// critical paths (+ handoff when the stages run on disjoint cores).
+	LatencyMs float64
+	// PeriodMs is the scenario-weighted steady-state initiation interval:
+	// max(front, back, memory roofline) + handoff when pipelined, else the
+	// latency — the inverse of attainable throughput.
+	PeriodMs float64
+	// CommMs is the scenario-weighted stage-handoff cost alone.
+	CommMs float64
+}
+
+// evaluator scores candidates for one stream: the cost profile fixes the
+// per-scenario task demands, cutMs the per-scenario handoff cost.
+type evaluator struct {
+	machine *platform.Machine
+	arch    platform.Arch
+	prof    *pipeline.CostProfile
+	// cutMs[s] is the modeled time to move scenario s's front→back cut
+	// through the memory system once per frame.
+	cutMs [pipeline.NumScenarios]float64
+	// memMs[s] is scenario s's roofline floor: total frame traffic over
+	// machine bandwidth, charged when front and back contend for the bus.
+	memMs [pipeline.NumScenarios]float64
+}
+
+func newEvaluator(machine *platform.Machine, prof *pipeline.CostProfile, frameKB int) *evaluator {
+	ev := &evaluator{machine: machine, arch: machine.Arch(), prof: prof}
+	for s := range prof.Weight {
+		if prof.Weight[s] <= 0 {
+			continue
+		}
+		traffic := 0.0
+		for ti := range prof.Cost[s] {
+			traffic += prof.Cost[s][ti].MemBytes
+		}
+		ev.memMs[s] = speedup.RooflineMs(traffic, ev.arch)
+		if frameKB > 0 {
+			if cutKB, err := flowgraph.FromIndex(s).CutKB(frameKB); err == nil {
+				ev.cutMs[s] = speedup.RooflineMs(float64(cutKB)*1024, ev.arch)
+			}
+		}
+	}
+	return ev
+}
+
+// stageMs returns scenario s's front and back critical paths when the front
+// stage owns cf cores and the back stage cb (equal to the full share for a
+// non-pipelined mapping). Each task is striped to min(stage cores,
+// MaxStripes(task)) — the engine's actual stripe rule — and zero-cost tasks
+// are skipped so the model does not charge SwitchCost for tasks the scenario
+// never runs.
+func (ev *evaluator) stageMs(s, cf, cb int) (front, back float64) {
+	names := tasks.AllNames()
+	for ti, name := range names {
+		c := ev.prof.Cost[s][ti]
+		if c.Cycles <= 0 && c.MemBytes <= 0 {
+			continue
+		}
+		if flowgraph.StageOf(name) == flowgraph.StageBack {
+			back += ev.machine.StripedMs(c, partition.MaxStripes(name, cb))
+		} else {
+			front += ev.machine.StripedMs(c, partition.MaxStripes(name, cf))
+		}
+	}
+	return front, back
+}
+
+// Evaluate scores a plan against the profile.
+func (ev *evaluator) Evaluate(p sched.StreamPlan) Candidate {
+	cand := Candidate{Plan: p}
+	for s := range ev.prof.Weight {
+		w := ev.prof.Weight[s]
+		if w <= 0 {
+			continue
+		}
+		var lat, period, comm float64
+		if p.Pipelined {
+			f, b := ev.stageMs(s, p.FrontCores, p.BackCores)
+			comm = ev.cutMs[s]
+			lat = f + b + comm
+			period = math.Max(math.Max(f, b), ev.memMs[s]) + comm
+		} else {
+			k := p.Cores
+			if k < 1 {
+				k = 1
+			}
+			if !p.Striped {
+				k = 1
+			}
+			f, b := ev.stageMs(s, k, k)
+			lat = f + b
+			period = lat
+		}
+		cand.LatencyMs += w * lat
+		cand.PeriodMs += w * period
+		cand.CommMs += w * comm
+	}
+	return cand
+}
+
+// Candidates enumerates the stream's mapping space for a share of c cores:
+// serial for one core; for larger shares, full striping without pipelining
+// plus every front/back core partition of the window-2 pipeline. The
+// returned set always contains the greedy baseline's plan (even stage
+// split), so the optimizer can never score worse than greedy under its own
+// model.
+func (ev *evaluator) Candidates(c int, out []Candidate) []Candidate {
+	out = out[:0]
+	if c < 1 {
+		return out
+	}
+	out = append(out, ev.Evaluate(sched.StreamPlan{Cores: 1}))
+	if c < 2 {
+		return out
+	}
+	out = append(out, ev.Evaluate(sched.StreamPlan{Cores: c, Striped: true}))
+	for cf := 1; cf < c; cf++ {
+		out = append(out, ev.Evaluate(sched.StreamPlan{
+			Cores: c, Pipelined: true, FrontCores: cf, BackCores: c - cf,
+		}))
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package mapping
+
+import (
+	"fmt"
+	"math"
+
+	"triplec/internal/pipeline"
+	"triplec/internal/platform"
+	"triplec/internal/sched"
+)
+
+// Optimizer is the bi-criteria mapping arbiter behind the sched.Mapper
+// seam. Per stream it enumerates serial / striped / every pipelined
+// front-back core partition for each possible share, keeps the Pareto front
+// over (latency, period), and picks one point with the stream's
+// pressure-adaptive weights; a dynamic program then chooses the per-stream
+// shares that minimize the total weighted score across the machine. The
+// greedy baseline's plan is always in the candidate set, and the final
+// allocation falls back to greedy's unless the optimizer's modeled score is
+// materially better — the optimizer can restructure mappings, but it can
+// never do worse than the baseline under its own model.
+//
+// Not safe for concurrent use; MultiManager serializes Map calls under its
+// lock.
+type Optimizer struct {
+	machine *platform.Machine
+	greedy  sched.GreedyMapper
+
+	// LastParetoPoints is the total Pareto-front size across streams at
+	// their chosen shares in the most recent Map — a diagnostic for how
+	// much genuine trade-off space the optimizer had.
+	LastParetoPoints int
+}
+
+// preferGreedyMargin: the optimizer deviates from the greedy division only
+// when its modeled total score improves by more than this relative margin;
+// within the margin the simpler baseline wins (stability over churn).
+const preferGreedyMargin = 1e-3
+
+// NewOptimizer builds an optimizer for the modeled architecture.
+func NewOptimizer(arch platform.Arch) (*Optimizer, error) {
+	m, err := platform.NewMachine(arch)
+	if err != nil {
+		return nil, fmt.Errorf("mapping: %w", err)
+	}
+	return &Optimizer{machine: m}, nil
+}
+
+// Name implements sched.Mapper.
+func (o *Optimizer) Name() string { return "optimizer" }
+
+// Map implements sched.Mapper.
+func (o *Optimizer) Map(totalCores int, demands []sched.StreamDemand, plans []sched.StreamPlan) error {
+	n := len(demands)
+	if len(plans) != n {
+		return fmt.Errorf("mapping: %d plans for %d demands", len(plans), n)
+	}
+	if n == 0 {
+		return fmt.Errorf("mapping: no streams to map %d cores over", totalCores)
+	}
+	// The optimizer needs the scenario-conditioned profile; until every
+	// stream has reported one — and in the oversubscribed regime, where the
+	// only decision is which streams to shed (SplitCores' demand ranking) —
+	// the greedy division is the answer.
+	structured := totalCores >= n
+	for i := range demands {
+		if demands[i].Profile.Frames == 0 {
+			structured = false
+		}
+	}
+	if !structured {
+		o.LastParetoPoints = 0
+		return o.greedy.Map(totalCores, demands, plans)
+	}
+
+	// Per-stream tables over possible shares c ∈ [1, maxShare]: the picked
+	// plan, its weighted score, and the front size behind it. Scores are
+	// made monotone non-increasing in c (a larger share may always fall
+	// back to the smaller share's plan), so the cross-stream DP can hand
+	// out all cores without forcing any stream to waste them.
+	maxShare := totalCores - (n - 1)
+	bestPlan := make([][]sched.StreamPlan, n)
+	bestScore := make([][]float64, n)
+	bestPoints := make([][]int, n)
+	var candBuf []Candidate
+	for i := range demands {
+		d := &demands[i]
+		ev := newEvaluator(o.machine, &d.Profile, d.FrameKB)
+		serial := ev.Evaluate(sched.StreamPlan{Cores: 1})
+		w := ComputePressures(serial.LatencyMs, d.BudgetMs, n, totalCores, ev.meanCutMs()).Softmax()
+		bestPlan[i] = make([]sched.StreamPlan, maxShare+1)
+		bestScore[i] = make([]float64, maxShare+1)
+		bestPoints[i] = make([]int, maxShare+1)
+		for c := 1; c <= maxShare; c++ {
+			candBuf = ev.Candidates(c, candBuf)
+			front := ParetoFront(candBuf)
+			pick := Pick(front, w, serial)
+			score := w.Score(pick, serial)
+			if c > 1 && bestScore[i][c-1] <= score {
+				bestPlan[i][c] = bestPlan[i][c-1]
+				bestScore[i][c] = bestScore[i][c-1]
+				bestPoints[i][c] = bestPoints[i][c-1]
+				continue
+			}
+			bestPlan[i][c] = pick.Plan
+			bestScore[i][c] = score
+			bestPoints[i][c] = len(front)
+		}
+	}
+
+	// DP over streams × cores: f[j][c] is the minimal total score mapping
+	// the first j streams onto exactly c cores (each stream ≥ 1). choice
+	// records stream j-1's share on the optimal path.
+	const inf = math.MaxFloat64
+	f := make([][]float64, n+1)
+	choice := make([][]int, n+1)
+	for j := range f {
+		f[j] = make([]float64, totalCores+1)
+		choice[j] = make([]int, totalCores+1)
+		for c := range f[j] {
+			f[j][c] = inf
+		}
+	}
+	f[0][0] = 0
+	for j := 1; j <= n; j++ {
+		for c := j; c <= totalCores-(n-j); c++ {
+			for k := 1; k <= c-(j-1) && k <= maxShare; k++ {
+				if f[j-1][c-k] == inf {
+					continue
+				}
+				if s := f[j-1][c-k] + bestScore[j-1][k]; s < f[j][c] {
+					f[j][c] = s
+					choice[j][c] = k
+				}
+			}
+		}
+	}
+	if f[n][totalCores] == inf {
+		return o.greedy.Map(totalCores, demands, plans)
+	}
+
+	points := 0
+	c := totalCores
+	for j := n; j >= 1; j-- {
+		k := choice[j][c]
+		plans[j-1] = bestPlan[j-1][k]
+		points += bestPoints[j-1][k]
+		c -= k
+	}
+
+	// Hold the allocation to the greedy baseline unless the model predicts
+	// a material improvement: the optimizer's candidate set contains every
+	// greedy plan, so optScore ≤ greedyScore always holds; the margin only
+	// suppresses churn on near-ties.
+	greedyPlans := make([]sched.StreamPlan, n)
+	if err := o.greedy.Map(totalCores, demands, greedyPlans); err == nil {
+		greedyScore := 0.0
+		for i, gp := range greedyPlans {
+			d := &demands[i]
+			ev := newEvaluator(o.machine, &d.Profile, d.FrameKB)
+			serial := ev.Evaluate(sched.StreamPlan{Cores: 1})
+			w := ComputePressures(serial.LatencyMs, d.BudgetMs, n, totalCores, ev.meanCutMs()).Softmax()
+			greedyScore += w.Score(ev.Evaluate(gp), serial)
+		}
+		if f[n][totalCores] >= greedyScore*(1-preferGreedyMargin) {
+			copy(plans, greedyPlans)
+			o.LastParetoPoints = 0
+			return nil
+		}
+	}
+	o.LastParetoPoints = points
+	return nil
+}
+
+// meanCutMs is the scenario-weighted mean stage-handoff cost — the
+// communication-pressure numerator.
+func (ev *evaluator) meanCutMs() float64 {
+	total := 0.0
+	for s := range ev.prof.Weight {
+		total += ev.prof.Weight[s] * ev.cutMs[s]
+	}
+	return total
+}
+
+// NumScenarios re-exported for tests' convenience.
+const NumScenarios = pipeline.NumScenarios

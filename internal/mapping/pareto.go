@@ -1,0 +1,49 @@
+package mapping
+
+// dominates reports whether a is at least as good as b on both criteria and
+// strictly better on one. Communication cost is not a third axis: it is
+// already folded into both latency and period, and keeping the front
+// two-dimensional keeps it small and interpretable.
+func dominates(a, b Candidate) bool {
+	if a.LatencyMs > b.LatencyMs || a.PeriodMs > b.PeriodMs {
+		return false
+	}
+	return a.LatencyMs < b.LatencyMs || a.PeriodMs < b.PeriodMs
+}
+
+// ParetoFront compacts cands down to the non-dominated set over
+// (latency, period), preserving enumeration order (deterministic for a
+// deterministic candidate order). When two candidates tie exactly on both
+// criteria the earlier one is kept — enumeration order puts simpler plans
+// (serial, then striped, then pipelined splits) first, so ties resolve
+// toward the simpler mapping. The returned slice aliases cands.
+func ParetoFront(cands []Candidate) []Candidate {
+	n := len(cands)
+	// Mark first, compact second: the survivor test must read the original
+	// set, not a partially compacted one.
+	keep := 0
+	for i := 0; i < n; i++ {
+		c := cands[i]
+		dominated := false
+		for j := 0; j < n && !dominated; j++ {
+			if i == j {
+				continue
+			}
+			o := cands[j]
+			if dominates(o, c) {
+				dominated = true
+			} else if j < i && o.LatencyMs == c.LatencyMs && o.PeriodMs == c.PeriodMs {
+				// Exact tie: keep only the first.
+				dominated = true
+			}
+		}
+		if !dominated {
+			cands[i], cands[keep] = cands[keep], cands[i]
+			// The swap is safe: position keep ≤ i has already been
+			// classified, and classification only reads values, which the
+			// swap permutes but never loses.
+			keep++
+		}
+	}
+	return cands[:keep]
+}

@@ -3,7 +3,6 @@ package sched
 import (
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 )
 
@@ -14,7 +13,9 @@ import (
 // from their latest Triple-C predictions — the arbitration shape of
 // "Resource Allocation for Multiple Concurrent In-Network Stream-Processing
 // Applications" (Benoit et al., 2009) applied to the paper's runtime
-// manager.
+// manager. The division itself is delegated to a Mapper (mapper.go): the
+// greedy proportional baseline by default, the bi-criteria Pareto optimizer
+// (internal/mapping) when configured.
 
 // PredictedDemandMs is the manager's per-frame demand signal for
 // cross-stream arbitration: the summed per-task Triple-C predictions for
@@ -46,83 +47,97 @@ func (m *Manager) PredictedDemandMs() float64 {
 // it owns a core that does not exist. Zero, negative and non-finite
 // demands are treated as zero.
 func SplitCores(total int, demands []float64) ([]int, error) {
+	budgets := make([]int, len(demands))
+	var s splitScratch
+	if err := splitInto(budgets, total, demands, &s); err != nil {
+		return nil, err
+	}
+	return budgets, nil
+}
+
+// splitInto is the allocation-free core of SplitCores: budgets is
+// caller-provided output of len(demands), s holds reusable sort buffers.
+// The small sorts are stable insertion sorts — the stream count is a
+// handful, and avoiding sort.Slice keeps the steady-state rebalance path
+// heap-free.
+func splitInto(budgets []int, total int, demands []float64, s *splitScratch) error {
 	n := len(demands)
 	if n == 0 {
-		return nil, fmt.Errorf("sched: no demands to split %d cores over", total)
+		return fmt.Errorf("sched: no demands to split %d cores over", total)
 	}
 	if total < 1 {
-		return nil, fmt.Errorf("sched: cannot split %d cores", total)
+		return fmt.Errorf("sched: cannot split %d cores", total)
 	}
-	budgets := make([]int, n)
+	if len(budgets) != n {
+		return fmt.Errorf("sched: %d budget slots for %d demands", len(budgets), n)
+	}
+	s.grow(n)
+	for i := range budgets {
+		budgets[i] = 0
+	}
 	if total < n {
 		// Deterministic degradation: one core each for the total
-		// highest-demand applications, zero for the rest. Sorting the
-		// indices (not the demands) keeps ties stable by index.
-		order := make([]int, n)
-		for i := range order {
-			order[i] = i
+		// highest-demand applications, zero for the rest. A stable
+		// descending sort keeps ties ordered by index.
+		order := s.order[:0]
+		for i := 0; i < n; i++ {
+			order = append(order, i)
 		}
-		d := func(i int) float64 {
-			v := demands[i]
-			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-				return 0
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && sanitizeDemand(demands[order[j]]) > sanitizeDemand(demands[order[j-1]]); j-- {
+				order[j], order[j-1] = order[j-1], order[j]
 			}
-			return v
 		}
-		sort.SliceStable(order, func(a, b int) bool { return d(order[a]) > d(order[b]) })
 		for _, i := range order[:total] {
 			budgets[i] = 1
 		}
-		return budgets, nil
+		return nil
 	}
 	for i := range budgets {
 		budgets[i] = 1
 	}
 	spare := total - n
 	if spare <= 0 {
-		return budgets, nil
+		return nil
 	}
 	sum := 0.0
 	for _, d := range demands {
-		if d > 0 && !math.IsNaN(d) && !math.IsInf(d, 0) {
-			sum += d
-		}
+		sum += sanitizeDemand(d)
 	}
 	if sum <= 0 {
 		// No demand signal yet: round-robin the spare cores.
 		for i := 0; i < spare; i++ {
 			budgets[i%n]++
 		}
-		return budgets, nil
+		return nil
 	}
-	type rem struct {
-		idx  int
-		frac float64
-	}
-	rems := make([]rem, n)
+	rems := s.rems[:0]
 	given := 0
 	for i, d := range demands {
-		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
-			d = 0
-		}
+		d = sanitizeDemand(d)
 		share := d / sum * float64(spare)
 		whole := int(share)
 		budgets[i] += whole
 		given += whole
-		rems[i] = rem{idx: i, frac: share - float64(whole)}
+		rems = append(rems, rem{idx: i, frac: share - float64(whole)})
 	}
 	// Largest remainder first; ties broken by index for determinism.
-	sort.Slice(rems, func(a, b int) bool {
-		if rems[a].frac != rems[b].frac {
-			return rems[a].frac > rems[b].frac
+	remLess := func(a, b rem) bool {
+		if a.frac != b.frac {
+			return a.frac > b.frac
 		}
-		return rems[a].idx < rems[b].idx
-	})
+		return a.idx < b.idx
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && remLess(rems[j], rems[j-1]); j-- {
+			rems[j], rems[j-1] = rems[j-1], rems[j]
+		}
+	}
 	for i := 0; given < spare; i++ {
 		budgets[rems[i%n].idx]++
 		given++
 	}
-	return budgets, nil
+	return nil
 }
 
 // CoreNeed returns how many cores an application needs to bring demandMs of
@@ -149,11 +164,12 @@ func CoreNeed(demandMs, budgetMs float64, maxCores int) int {
 
 // MultiManager arbitrates one machine's cores across several concurrently
 // running streams. Streams report their per-frame predicted demand from
-// their own goroutines; Rebalance re-divides the cores proportionally. The
-// MultiManager never touches the streams' Managers directly — each stream
-// reads its budget with BudgetFor and applies it to its own Manager, so the
-// Manager itself stays single-goroutine (see the Engine concurrency
-// contract in internal/pipeline).
+// their own goroutines; Rebalance re-divides the cores through the
+// configured Mapper. The MultiManager never touches the streams' Managers
+// directly — each stream reads its budget with BudgetFor (and its execution
+// structure with PlanFor) and applies it to its own Manager, so the Manager
+// itself stays single-goroutine (see the Engine concurrency contract in
+// internal/pipeline).
 //
 // Reported demands are smoothed with an EWMA before the split: per-frame
 // Triple-C predictions swing with the data-dependent scenario (a stream
@@ -167,6 +183,11 @@ type MultiManager struct {
 	// Alpha is the demand-smoothing factor in (0, 1]; 1 disables smoothing.
 	// Mutate only before the first ReportDemand.
 	Alpha float64
+	// Mapper decides the per-stream plans at each re-division; nil selects
+	// the greedy proportional baseline. It is invoked under the manager's
+	// lock and must not call back in. Mutate only before the first
+	// Rebalance.
+	Mapper Mapper
 	// Metrics, when set, publishes every applied re-division (see
 	// MultiMetrics). Mutate only before the first Rebalance.
 	Metrics *MultiMetrics
@@ -178,11 +199,21 @@ type MultiManager struct {
 
 	mu         sync.Mutex
 	totalCores int
-	demands    []float64
+	demands    []StreamDemand
 	seen       []bool
 	active     []bool
 	budgets    []int
+	plans      []StreamPlan
 	rebalances int
+
+	// Reusable scratch so the steady-state rebalance path allocates nothing
+	// (pinned by BenchmarkRebalance / TestRebalanceAllocFree).
+	greedy    GreedyMapper
+	idxBuf    []int
+	demandBuf []StreamDemand
+	planBuf   []StreamPlan
+	coreBuf   []int
+	beforeBuf []int
 }
 
 // NewMultiManager builds an arbiter for n streams over totalCores host
@@ -197,19 +228,30 @@ func NewMultiManager(totalCores, n int) (*MultiManager, error) {
 	mm := &MultiManager{
 		Alpha:      0.25,
 		totalCores: totalCores,
-		demands:    make([]float64, n),
+		demands:    make([]StreamDemand, n),
 		seen:       make([]bool, n),
 		active:     make([]bool, n),
 		budgets:    make([]int, n),
+		plans:      make([]StreamPlan, n),
+		idxBuf:     make([]int, 0, n),
+		demandBuf:  make([]StreamDemand, 0, n),
+		planBuf:    make([]StreamPlan, n),
+		coreBuf:    make([]int, n),
+		beforeBuf:  make([]int, n),
 	}
 	for i := range mm.active {
 		mm.active[i] = true
 	}
-	even, err := SplitCores(totalCores, mm.demands)
-	if err != nil {
+	mm.greedy.scratch.grow(n)
+	// Initial division: no demand signal yet, so splitInto round-robins the
+	// machine evenly. Not counted as a rebalance.
+	zeros := make([]float64, n)
+	if err := splitInto(mm.budgets, totalCores, zeros, &mm.greedy.scratch); err != nil {
 		return nil, err
 	}
-	mm.budgets = even
+	for i, b := range mm.budgets {
+		mm.plans[i] = GreedyPlan(b)
+	}
 	return mm, nil
 }
 
@@ -217,9 +259,21 @@ func NewMultiManager(totalCores, n int) (*MultiManager, error) {
 func (mm *MultiManager) TotalCores() int { return mm.totalCores }
 
 // ReportDemand folds stream i's latest predicted serial demand (ms) into
-// its smoothed demand level.
+// its smoothed demand level. The scenario-conditioned cost profile, if any,
+// is left untouched — use ReportStream to update both.
 func (mm *MultiManager) ReportDemand(i int, predictedMs float64) {
-	if math.IsNaN(predictedMs) || math.IsInf(predictedMs, 0) || predictedMs < 0 {
+	d := StreamDemand{TotalMs: predictedMs}
+	mm.ReportStream(i, &d)
+}
+
+// ReportStream folds stream i's latest demand signal — scalar demand plus
+// the scenario-conditioned cost profile — into its smoothed state. The first
+// report is taken verbatim; later reports are EWMA-blended with Alpha. A
+// report with an empty profile updates only the scalar (the profile keeps
+// its last value), and a zero BudgetMs keeps the previously reported
+// deadline. Allocation-free.
+func (mm *MultiManager) ReportStream(i int, d *StreamDemand) {
+	if d == nil || math.IsNaN(d.TotalMs) || math.IsInf(d.TotalMs, 0) || d.TotalMs < 0 {
 		return
 	}
 	mm.mu.Lock()
@@ -231,17 +285,25 @@ func (mm *MultiManager) ReportDemand(i int, predictedMs float64) {
 	if a <= 0 || a > 1 {
 		a = 1
 	}
+	cur := &mm.demands[i]
 	if !mm.seen[i] {
-		mm.demands[i] = predictedMs
+		*cur = *d
 		mm.seen[i] = true
 		return
 	}
-	mm.demands[i] = (1-a)*mm.demands[i] + a*predictedMs
+	cur.TotalMs = (1-a)*cur.TotalMs + a*d.TotalMs
+	if d.BudgetMs > 0 {
+		cur.BudgetMs = d.BudgetMs
+	}
+	if d.FrameKB > 0 {
+		cur.FrameKB = d.FrameKB
+	}
+	cur.Profile.Fold(&d.Profile, a)
 }
 
 // Rebalance re-divides the cores from the currently reported demands and
 // returns a copy of the new per-stream budgets. Retired streams are excluded
-// from the split and hold a zero budget.
+// from the division and hold a zero budget.
 func (mm *MultiManager) Rebalance() []int {
 	mm.mu.Lock()
 	defer mm.mu.Unlock()
@@ -251,34 +313,54 @@ func (mm *MultiManager) Rebalance() []int {
 	return out
 }
 
+// Redivide is Rebalance without the defensive copy: the steady-state
+// control-loop entry point for callers that read budgets back per stream
+// with BudgetFor/PlanFor. With the default greedy mapper it performs no
+// heap allocation.
+func (mm *MultiManager) Redivide() {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	mm.rebalanceLocked()
+}
+
 func (mm *MultiManager) rebalanceLocked() {
-	// Compact the active streams, split the full machine among them, and
-	// scatter the shares back; retired slots get zero.
-	idx := make([]int, 0, len(mm.demands))
-	live := make([]float64, 0, len(mm.demands))
-	for i, d := range mm.demands {
+	// Compact the active streams, map the full machine onto them, and
+	// scatter the plans back; retired slots get zero.
+	idx := mm.idxBuf[:0]
+	dem := mm.demandBuf[:0]
+	for i := range mm.demands {
 		if mm.active[i] {
 			idx = append(idx, i)
-			live = append(live, d)
+			dem = append(dem, mm.demands[i])
 		}
 	}
 	if len(idx) == 0 {
 		return
 	}
-	b, err := SplitCores(mm.totalCores, live)
-	if err != nil {
+	plans := mm.planBuf[:len(idx)]
+	var err error
+	if mm.Mapper == nil {
+		err = mm.greedy.mapInto(mm.coreBuf[:len(idx)], mm.totalCores, dem, plans)
+	} else {
+		err = mm.Mapper.Map(mm.totalCores, dem, plans)
+	}
+	if err != nil || ValidatePlans(mm.totalCores, plans) != nil {
+		// A mapper that fails or violates its post-conditions leaves the
+		// previous division in force: a stale budget beats a broken one.
 		return
 	}
 	var before []int
 	if mm.OnRebalance != nil {
-		before = make([]int, len(mm.budgets))
+		before = mm.beforeBuf[:len(mm.budgets)]
 		copy(before, mm.budgets)
 	}
 	for i := range mm.budgets {
 		mm.budgets[i] = 0
+		mm.plans[i] = StreamPlan{}
 	}
 	for j, i := range idx {
-		mm.budgets[i] = b[j]
+		mm.budgets[i] = plans[j].Cores
+		mm.plans[i] = plans[j]
 	}
 	mm.rebalances++
 	if m := mm.Metrics; m != nil {
@@ -306,9 +388,11 @@ func (mm *MultiManager) Retire(i int) {
 		return
 	}
 	mm.active[i] = false
-	mm.demands[i] = 0
+	mm.demands[i] = StreamDemand{}
 	mm.seen[i] = false
 	mm.rebalanceLocked()
+	mm.budgets[i] = 0
+	mm.plans[i] = StreamPlan{}
 }
 
 // ActiveStreams returns how many streams are still being arbitrated.
@@ -338,6 +422,18 @@ func (mm *MultiManager) BudgetFor(i int) int {
 	return mm.budgets[i]
 }
 
+// PlanFor returns stream i's current execution plan — the mapping decision
+// behind BudgetFor's scalar. Out-of-range indices return a one-core serial
+// plan, mirroring BudgetFor.
+func (mm *MultiManager) PlanFor(i int) StreamPlan {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	if i < 0 || i >= len(mm.plans) {
+		return StreamPlan{Cores: 1}
+	}
+	return mm.plans[i]
+}
+
 // Rebalances returns how many re-divisions have been applied.
 func (mm *MultiManager) Rebalances() int {
 	mm.mu.Lock()
@@ -345,11 +441,13 @@ func (mm *MultiManager) Rebalances() int {
 	return mm.rebalances
 }
 
-// Demands returns a copy of the latest reported per-stream demands.
+// Demands returns a copy of the latest smoothed per-stream scalar demands.
 func (mm *MultiManager) Demands() []float64 {
 	mm.mu.Lock()
 	defer mm.mu.Unlock()
 	out := make([]float64, len(mm.demands))
-	copy(out, mm.demands)
+	for i := range mm.demands {
+		out[i] = mm.demands[i].TotalMs
+	}
 	return out
 }

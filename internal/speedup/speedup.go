@@ -82,6 +82,19 @@ func MeasureTimeline(reports []pipeline.Report) Timeline {
 	return t
 }
 
+// RooflineMs converts a frame's external-memory traffic into the time the
+// shared bus needs to drain it: bytes / (GB/s * 1e9 B/GB) = seconds, * 1e3 =
+// ms. Once both pipeline halves run concurrently the bus is shared, so a
+// frame can never retire faster than this floor — the roofline term the
+// estimator and the mapping optimizer both charge a candidate schedule with.
+// Non-positive or non-finite bandwidth yields 0 (no modeled ceiling).
+func RooflineMs(bytes float64, arch platform.Arch) float64 {
+	if arch.MemBWGBs <= 0 || math.IsNaN(arch.MemBWGBs) || bytes <= 0 {
+		return 0
+	}
+	return bytes / (arch.MemBWGBs * 1e9) * 1e3
+}
+
 // ScenarioTerm is one scenario's contribution to the estimate.
 type ScenarioTerm struct {
 	Scenario flowgraph.Scenario
@@ -160,8 +173,7 @@ func Predict(reports []pipeline.Report, arch platform.Arch) (Estimate, error) {
 			Weight:   cnt / total,
 			FrontMs:  a.front / cnt,
 			BackMs:   a.back / cnt,
-			// bytes / (GB/s * 1e9 B/GB) = seconds; *1e3 = ms.
-			MemMs: a.mb / cnt / (arch.MemBWGBs * 1e9) * 1e3,
+			MemMs:    RooflineMs(a.mb/cnt, arch),
 		}
 		est.Terms = append(est.Terms, term)
 		est.SerialMsPerFrame += term.Weight * (term.FrontMs + term.BackMs)

@@ -145,15 +145,19 @@ func (c *controller) quarantine(i int) {
 	c.mm.Retire(i)
 }
 
-// report feeds stream i's latest predicted serial demand to the arbiter and
-// triggers a re-division every rebalanceEvery reports.
-func (c *controller) report(i int, predictedMs float64) {
-	c.mm.ReportDemand(i, predictedMs)
+// report feeds stream i's latest demand signal — scalar predicted demand
+// plus the scenario-conditioned cost profile the mapping optimizer scores
+// candidates with — to the arbiter and triggers a re-division every
+// rebalanceEvery reports. Redivide (not Rebalance) keeps the steady-state
+// control loop allocation-free; streams read the outcome back per frame via
+// BudgetFor.
+func (c *controller) report(i int, d *sched.StreamDemand) {
+	c.mm.ReportStream(i, d)
 	c.mu.Lock()
 	c.reports++
 	due := c.reports%c.rebalanceEvery == 0
 	c.mu.Unlock()
 	if due {
-		c.mm.Rebalance()
+		c.mm.Redivide()
 	}
 }

@@ -74,11 +74,11 @@ func TestControllerRebalanceOnFirstReport(t *testing.T) {
 	if mm.Rebalances() != 0 {
 		t.Fatalf("rebalances before any report: %d", mm.Rebalances())
 	}
-	c.report(0, 30)
+	c.report(0, &sched.StreamDemand{TotalMs: 30})
 	if mm.Rebalances() != 1 {
 		t.Fatalf("rebalances after first report = %d with RebalanceEvery=1, want 1", mm.Rebalances())
 	}
-	c.report(1, 10)
+	c.report(1, &sched.StreamDemand{TotalMs: 10})
 	if mm.Rebalances() != 2 {
 		t.Fatalf("rebalances after second report = %d, want 2", mm.Rebalances())
 	}

@@ -67,6 +67,14 @@ type ServerConfig struct {
 	// HostWorkers bounds concurrent frame processing on the host (the
 	// shared pool size). 0 defaults to GOMAXPROCS.
 	HostWorkers int
+	// Mapper selects the core-division policy the arbiter applies at every
+	// re-division: nil is the greedy proportional baseline (SplitCores);
+	// internal/mapping.NewOptimizer supplies the bi-criteria Pareto
+	// optimizer, which conditions the division on each stream's reported
+	// cost profile. The serving loop processes frame-at-a-time, so only the
+	// plans' core counts steer it; the stage structure is consumed by the
+	// pipelined executor in internal/bench.
+	Mapper sched.Mapper
 	// RebalanceEvery is the number of per-stream demand reports between
 	// controller re-divisions. 0 means the default of 4; negative values
 	// are rejected by NewServer.
@@ -309,6 +317,7 @@ func (s *Server) Run(n int) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
+	mm.Mapper = s.cfg.Mapper
 	mm.Metrics = s.multiMetrics
 	if fr := s.cfg.Flight; fr != nil {
 		rec := fr.Recorder()
@@ -629,7 +638,17 @@ func (r *runner) serveFrames(start int) (failedAt int, stalled bool, err error) 
 			demand = rep.LatencyMs
 		}
 		tel.demand(demand)
-		r.ctl.report(r.si, demand)
+		// The full demand signal: scalar prediction plus this frame's
+		// scenario-conditioned costs (a single-frame profile the arbiter
+		// EWMA-folds into the stream's running profile). Stack-allocated —
+		// the steady-state reporting path stays heap-free.
+		sd := sched.StreamDemand{
+			TotalMs:  demand,
+			BudgetMs: r.mgr.BudgetMs,
+			FrameKB:  sc.FramePixels * frame.BytesPerPixel / 1024,
+		}
+		sd.Profile.Add(rep)
+		r.ctl.report(r.si, &sd)
 	}
 	return r.n, false, nil
 }
