@@ -14,6 +14,8 @@
 //	  [-panic-prob p] [-hang-prob p] [-max-miss-rate r] [-json]
 //	  [-trace-dir dir] [-breaker]
 //	triplec bench [-short] [-out BENCH_6.json] [-min-speedup 1.0]
+//	triplec shadow [-short] [-seed s] [-seqs n] [-frames n] [-folds k]
+//	  [-warmup n] [-out report.json] [-min-acc 0.70] [-quiet]
 //	triplec trace dump.json
 //
 // The serve subcommand runs the concurrent multi-stream serving layer: N
@@ -40,6 +42,15 @@
 // modeled latency, measured pipelining speedup and the analytical
 // estimator's prediction (internal/speedup). It exits non-zero on schema
 // or speedup-floor violations, making it the CI perf-regression gate.
+//
+// The shadow subcommand runs the offline predictor bake-off: the deployed
+// EWMA+Markov predictor plus the alternative backends (order-2 Markov,
+// online ridge regression, P90 quantile) race on a cross-validated
+// synthetic replay and the per-backend accuracy scoreboard is printed as
+// text (JSON with -out). Same-seed runs produce byte-identical reports.
+// `serve -shadow` races the same roster live while serving: the scoreboard
+// is exposed on /debug/predictorz and as per-backend /metrics families,
+// with zero influence on scheduling. See internal/shadow.
 //
 // Both serving subcommands accept -trace-dir to enable the per-frame span
 // tracing layer (internal/span): an always-on flight recorder whose
@@ -80,6 +91,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "bench" {
 		if err := runBench(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "triplec bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "shadow" {
+		if err := runShadow(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "triplec shadow:", err)
 			os.Exit(1)
 		}
 		return

@@ -12,10 +12,12 @@ import (
 	"sync"
 	"time"
 
+	"triplec/internal/core"
 	"triplec/internal/experiments"
 	"triplec/internal/mapping"
 	"triplec/internal/metrics"
 	"triplec/internal/sched"
+	"triplec/internal/shadow"
 	"triplec/internal/span"
 	"triplec/internal/stream"
 	"triplec/internal/trace"
@@ -53,6 +55,8 @@ func runServe(args []string) error {
 		"enable per-frame span tracing; write triggered flight-recorder dumps (Chrome trace-event JSON) into this directory")
 	traceRelErr := fs.Float64("trace-relerr", 0.75,
 		"prediction relative-error trigger threshold for the flight recorder (0 disables)")
+	shadowOn := fs.Bool("shadow", false,
+		"race alternative prediction backends against the deployed predictor per stream; scoreboard on /debug/predictorz and per-backend /metrics families (zero influence on scheduling)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,6 +92,14 @@ func runServe(args []string) error {
 	}
 
 	fmt.Printf("training Triple-C on %d sequences x %d frames...\n", study.TrainSeqs, study.TrainFrames)
+	var shadowTrain [][]core.Observation
+	if *shadowOn {
+		var err error
+		if shadowTrain, err = study.TrainingSets(); err != nil {
+			return err
+		}
+	}
+	var boards []*shadow.Board
 	cfgs := make([]stream.Config, *streams)
 	for i := range cfgs {
 		p, err := study.TrainPredictor()
@@ -115,6 +127,18 @@ func runServe(args []string) error {
 			FramePixels: study.FramePixels(),
 			BudgetMs:    *budgetMs,
 		}
+		if *shadowOn {
+			backends, err := shadow.TrainBackends(p, shadowTrain, core.TrainConfig{})
+			if err != nil {
+				return err
+			}
+			board, err := shadow.NewBoard(cfgs[i].Name, backends)
+			if err != nil {
+				return err
+			}
+			boards = append(boards, board)
+			cfgs[i].Shadow = board
+		}
 	}
 
 	var flight *span.FlightRecorder
@@ -130,6 +154,14 @@ func runServe(args []string) error {
 	var reg *metrics.Registry
 	if *metricsAddr != "" || *metricsCSV != "" {
 		reg = metrics.NewRegistry()
+		if _, err := metrics.NewRuntimeMetrics(reg); err != nil {
+			return err
+		}
+		for _, b := range boards {
+			if err := b.EnableMetrics(reg); err != nil {
+				return err
+			}
+		}
 	}
 	srv, err := stream.NewServer(stream.ServerConfig{
 		ModelCores:     *cores,
@@ -163,6 +195,7 @@ func runServe(args []string) error {
 		if flight != nil {
 			mux.Handle("/debug/tracez", flight.TracezHandler())
 		}
+		mux.Handle("/debug/predictorz", shadow.Handler(boards))
 		httpSrv = &http.Server{Handler: mux}
 		go func() {
 			if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
@@ -240,6 +273,20 @@ func runServe(args []string) error {
 	}
 	fmt.Printf("\naggregate: %.1f frames/s over %.0f ms wall clock, %d rebalances, final core split %v\n",
 		res.AggregateFPS, res.WallMs, res.Rebalances, res.FinalBudgets)
+
+	if len(boards) > 0 {
+		fmt.Printf("\nshadow bake-off (deployed: %s):\n", boards[0].Deployed())
+		fmt.Printf("%-10s %-16s %7s %9s %8s %13s\n",
+			"stream", "backend", "frames", "accuracy", "hit%", "regret(ms)")
+		for _, b := range boards {
+			snap := b.Snapshot()
+			for _, bs := range snap.Backends {
+				fmt.Printf("%-10s %-16s %7d %8.1f%% %7.1f%% %+13.2f\n",
+					snap.Stream, bs.Name, bs.Total.Count, 100*bs.Accuracy(),
+					100*bs.ScenarioHitRate, bs.RegretMs)
+			}
+		}
+	}
 
 	if flight != nil {
 		dumps := flight.Dumps()

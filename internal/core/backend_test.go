@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"triplec/internal/flowgraph"
+	"triplec/internal/tasks"
+)
+
+// trainTwoClones trains a predictor on a small profiled corpus and returns
+// two independent clones plus a held-out test sequence.
+func trainTwoClones(t *testing.T) (*Predictor, *Predictor, []Observation) {
+	t.Helper()
+	var train [][]Observation
+	for i := uint64(0); i < 3; i++ {
+		train = append(train, observe(t, 100+i*7, 25))
+	}
+	p, err := Train(train, TrainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b, observe(t, 999, 30)
+}
+
+// TestBaselineBackendMatchesPredictNext drives a cloned predictor through
+// the map-based Observe/PredictNext loop and its twin through the dense
+// BaselineBackend, asserting the forecasts are identical at every frame —
+// the backend is PredictNext minus the allocations, not an approximation.
+func TestBaselineBackendMatchesPredictNext(t *testing.T) {
+	ref, cloned, test := trainTwoClones(t)
+	backend := NewBaselineBackend(cloned)
+
+	var dense FrameObs
+	var densePred FramePrediction
+	for i := range test {
+		// Forecast parity before observing frame i (covers the pre-first-
+		// observation worst-case path at i == 0).
+		want := ref.PredictNext()
+		backend.Predict(&densePred)
+		if densePred.Scenario != want.Scenario {
+			t.Fatalf("frame %d: scenario %v, want %v", i, densePred.Scenario, want.Scenario)
+		}
+		if len(want.TaskMs) == 0 {
+			t.Fatalf("frame %d: reference forecast is empty", i)
+		}
+		for task, ms := range want.TaskMs {
+			ti := tasks.IndexOf(task)
+			if densePred.Mask&(1<<uint(ti)) == 0 {
+				t.Fatalf("frame %d: task %s missing from dense forecast", i, task)
+			}
+			if densePred.TaskMs[ti] != ms {
+				t.Fatalf("frame %d: task %s = %v, want %v", i, task, densePred.TaskMs[ti], ms)
+			}
+		}
+		if math.Abs(densePred.TotalMs-want.TotalMs) > 1e-9 {
+			t.Fatalf("frame %d: total %v, want %v", i, densePred.TotalMs, want.TotalMs)
+		}
+
+		ref.Observe(test[i])
+		test[i].Dense(&dense)
+		backend.Observe(&dense)
+	}
+
+	// Reset clears online state on both paths alike.
+	backend.Reset()
+	ref.ResetOnline()
+	wc := ref.PredictNext()
+	backend.Predict(&densePred)
+	if densePred.Scenario != wc.Scenario || densePred.Scenario != flowgraph.WorstCase() {
+		t.Fatalf("post-reset scenario %v, want worst case %v", densePred.Scenario, flowgraph.WorstCase())
+	}
+}
+
+// TestDenseObservation checks the map → dense conversion: mask bits, task
+// values, and a TotalMs that is the fixed-index-order sum of the task times
+// (byte-stable across calls, unlike a map-order sum).
+func TestDenseObservation(t *testing.T) {
+	obs := Observation{
+		Scenario:       flowgraph.WorstCase(),
+		AnalysisPixels: 1000,
+		EstROIPixels:   40,
+		FramePixels:    1000,
+		TaskMs: map[tasks.Name]float64{
+			tasks.NameRDGFull: 1.25,
+			tasks.NameCPLSSel: 0.5,
+			tasks.NameZOOM:    0.125,
+		},
+	}
+	var want float64
+	for ti := 0; ti < tasks.NumNames; ti++ {
+		want += map[int]float64{
+			tasks.IndexOf(tasks.NameRDGFull): 1.25,
+			tasks.IndexOf(tasks.NameCPLSSel): 0.5,
+			tasks.IndexOf(tasks.NameZOOM):    0.125,
+		}[ti]
+	}
+	var d FrameObs
+	for rep := 0; rep < 32; rep++ {
+		obs.Dense(&d)
+		if d.Scenario != obs.Scenario || d.AnalysisPixels != 1000 || d.EstROIPixels != 40 {
+			t.Fatalf("context lost: %+v", d)
+		}
+		for _, task := range []tasks.Name{tasks.NameRDGFull, tasks.NameCPLSSel, tasks.NameZOOM} {
+			ti := tasks.IndexOf(task)
+			if d.Mask&(1<<uint(ti)) == 0 || d.TaskMs[ti] != obs.TaskMs[task] {
+				t.Fatalf("task %s lost: mask=%b ms=%v", task, d.Mask, d.TaskMs[ti])
+			}
+		}
+		if d.TotalMs != want {
+			t.Fatalf("TotalMs = %v, want exact fixed-order sum %v", d.TotalMs, want)
+		}
+	}
+}
+
+// TestBaselineBackendAllocFree pins the backend's whole per-frame cycle at
+// zero heap allocations — the property that lets any number of backends
+// ride the serving frame path.
+func TestBaselineBackendAllocFree(t *testing.T) {
+	_, cloned, test := trainTwoClones(t)
+	backend := NewBaselineBackend(cloned)
+	var dense FrameObs
+	var pred FramePrediction
+	test[0].Dense(&dense)
+	backend.Observe(&dense) // prime past the worst-case branch
+	allocs := testing.AllocsPerRun(200, func() {
+		backend.Observe(&dense)
+		backend.Predict(&pred)
+	})
+	if allocs != 0 {
+		t.Fatalf("baseline backend allocates %.1f times per frame, want 0", allocs)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -100,6 +101,18 @@ func (p *Predictor) Save(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// Clone returns an independent copy of the trained predictor via a
+// Save/Load round trip: same trained parameters, fresh online state, no
+// shared mutable structures. Shadow backends clone the deployed predictor
+// so racing it never perturbs the instance steering the scheduler.
+func (p *Predictor) Clone() (*Predictor, error) {
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		return nil, err
+	}
+	return Load(&buf)
 }
 
 // Load restores a predictor previously written by Save. Shared chains are

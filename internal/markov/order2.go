@@ -122,6 +122,16 @@ func (c *Chain2) AddTransition(a, b, next float64) {
 // square.
 func (c *Chain2) States() int { return c.q.States() }
 
+// Quantizer exposes the chain's quantizer so callers can lift the trained
+// chain into a dense, allocation-free representation (the shadow-evaluation
+// backends do this: the map-backed counts here are fine for training but a
+// map insert on the frame path would allocate).
+func (c *Chain2) Quantizer() *Quantizer { return c.q }
+
+// Row returns the live transition-count row over next states for pair
+// state (a, b), or nil when the pair was never observed during training.
+func (c *Chain2) Row(a, b int) []float64 { return c.counts[[2]int{a, b}] }
+
 // PairStates returns the size of the order-2 state space (States^2).
 func (c *Chain2) PairStates() int { return c.q.States() * c.q.States() }
 

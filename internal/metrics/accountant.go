@@ -35,6 +35,10 @@ type Accountant struct {
 	AccountingErrs               *Counter
 	Repartitions                 *Counter
 	ScenarioHits, ScenarioMisses *Counter
+	// Degenerate counts prediction samples dropped from the relative-error
+	// distributions because the actual carried no scale (≈0) or either side
+	// was NaN/Inf — recording them would poison the histogram sums.
+	Degenerate *Counter
 
 	// Live gauges: last-seen values for /healthz-style summaries.
 	BudgetMs          *Gauge
@@ -93,6 +97,7 @@ func NewAccountant(r *Registry, cfg AccountantConfig) (*Accountant, error) {
 	counter(&a.Repartitions, "repartitions_total", "Frames where the runtime manager changed the mapping.")
 	counter(&a.ScenarioHits, "scenario_predictions_hit_total", "Frames whose scenario the Markov state table predicted correctly.")
 	counter(&a.ScenarioMisses, "scenario_predictions_miss_total", "Frames whose predicted scenario differed from the executed one.")
+	counter(&a.Degenerate, "prediction_degenerate_samples_total", "Prediction samples dropped from the error distributions (actual ≈ 0 or non-finite values).")
 	gauge(&a.BudgetMs, "budget_ms", "Current per-frame latency budget.")
 	gauge(&a.PredictedDemandMs, "predicted_demand_ms", "Latest predicted serial demand reported to the core arbiter.")
 	gauge(&a.CoreBudget, "core_budget", "Cores currently allocated to the stream by the arbiter.")
@@ -147,17 +152,24 @@ func (a *Accountant) ObserveTask(task int, actualMs float64) {
 // ObservePrediction records one task's predicted-vs-actual computation
 // time: the signed relative error lands in the task's error histogram, the
 // absolute error in the stream-wide PredictionAbsErrMs distribution.
-// Samples with a non-positive actual carry no scale and record only the
-// absolute error.
+// Degenerate samples — non-finite on either side, or an actual too close
+// to zero to carry scale — are dropped from the distributions and counted
+// in Degenerate instead, so a single bad frame can never turn a histogram
+// sum into NaN/Inf.
 func (a *Accountant) ObservePrediction(task int, predictedMs, actualMs float64) {
 	if a == nil {
 		return
 	}
-	a.PredictionAbsErrMs.Observe(math.Abs(predictedMs - actualMs))
-	if task < 0 || task >= len(a.TaskRelErr) || actualMs <= 0 {
+	rel, ok := SignedRelErr(predictedMs, actualMs)
+	if !ok {
+		a.Degenerate.Inc()
 		return
 	}
-	a.TaskRelErr[task].Observe((predictedMs - actualMs) / actualMs)
+	a.PredictionAbsErrMs.Observe(math.Abs(predictedMs - actualMs))
+	if task < 0 || task >= len(a.TaskRelErr) {
+		return
+	}
+	a.TaskRelErr[task].Observe(rel)
 }
 
 // ObserveScenario records one Markov scenario-transition outcome.
@@ -216,6 +228,24 @@ func RelErr(predicted, actual float64) float64 {
 		return 0
 	}
 	return (predicted - actual) / actual
+}
+
+// MinActualMs is the scale floor below which an actual execution time is
+// considered degenerate for relative-error accounting: dividing by an
+// actual this close to zero yields errors in the 1e6+ range that swamp a
+// histogram sum even though every individual value stays finite.
+const MinActualMs = 1e-6
+
+// SignedRelErr returns the signed relative error (predicted-actual)/actual
+// and whether the sample is usable. It reports false — callers should drop
+// the sample and count it as degenerate — when either side is NaN or
+// infinite, or the actual is below MinActualMs.
+func SignedRelErr(predicted, actual float64) (float64, bool) {
+	if math.IsNaN(predicted) || math.IsInf(predicted, 0) ||
+		math.IsNaN(actual) || math.IsInf(actual, 0) || actual < MinActualMs {
+		return 0, false
+	}
+	return (predicted - actual) / actual, true
 }
 
 // String summarizes the accountant's live state (for examples and logs).

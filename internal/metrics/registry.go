@@ -61,9 +61,10 @@ type family struct {
 // concurrent use; registration normally happens once at setup time, the
 // record path then touches only the returned instrument handles.
 type Registry struct {
-	mu       sync.Mutex
-	families map[string]*family
-	order    []string // family registration order, for stable exposition
+	mu         sync.Mutex
+	families   map[string]*family
+	order      []string // family registration order, for stable exposition
+	collectors []func() // refresh hooks run before every snapshot
 }
 
 // NewRegistry returns an empty registry.
@@ -245,11 +246,31 @@ type MetricSnapshot struct {
 	Histogram *HistogramSnapshot
 }
 
+// RegisterCollector adds a refresh hook invoked before every Snapshot (and
+// therefore before every exposition scrape and CSV sample). Collectors
+// update pull-style gauges — e.g. Go runtime health — that have no event to
+// record on; they run outside the registry lock, so they may only touch
+// instrument handles (which are atomics), never the registry itself.
+func (r *Registry) RegisterCollector(f func()) {
+	if f == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectors = append(r.collectors, f)
+	r.mu.Unlock()
+}
+
 // Snapshot copies the current state of every instrument. Families and
 // instruments appear in registration order, so repeated snapshots of a
 // registry keep stable prefixes even when new instruments are registered in
 // between (they append).
 func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	collectors := r.collectors
+	r.mu.Unlock()
+	for _, f := range collectors {
+		f()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := Snapshot{Families: make([]FamilySnapshot, 0, len(r.order))}

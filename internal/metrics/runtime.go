@@ -1,0 +1,60 @@
+package metrics
+
+import "runtime"
+
+// RuntimeMetrics exports Go runtime health — goroutine count, heap sizes
+// and GC pause behaviour — so the cost of optional serving-path layers
+// (shadow evaluation, span tracing) is visible in the same production
+// scrapes that carry the prediction-error families. The gauges are sampled
+// lazily: NewRuntimeMetrics registers a collector on the registry, so every
+// Snapshot (scrape, CSV sample) refreshes them and nothing runs per frame.
+type RuntimeMetrics struct {
+	Goroutines   *Gauge // runtime.NumGoroutine
+	HeapAlloc    *Gauge // bytes of allocated heap objects (MemStats.HeapAlloc)
+	HeapInuse    *Gauge // bytes in in-use heap spans (MemStats.HeapInuse)
+	TotalAlloc   *Gauge // cumulative bytes allocated (monotone, sampled)
+	GCPauseLast  *Gauge // most recent GC stop-the-world pause, nanoseconds
+	GCPauseTotal *Gauge // cumulative GC pause, nanoseconds (monotone, sampled)
+	GCRuns       *Gauge // completed GC cycles (monotone, sampled)
+}
+
+// NewRuntimeMetrics registers the runtime health gauges on the registry and
+// installs the collector that refreshes them on every snapshot.
+func NewRuntimeMetrics(r *Registry) (*RuntimeMetrics, error) {
+	m := &RuntimeMetrics{}
+	var err error
+	gauge := func(dst **Gauge, name, help string) {
+		if err == nil {
+			*dst, err = r.NewGauge(name, help)
+		}
+	}
+	gauge(&m.Goroutines, "triplec_go_goroutines", "Live goroutines at the last scrape.")
+	gauge(&m.HeapAlloc, "triplec_go_heap_alloc_bytes", "Bytes of allocated heap objects at the last scrape.")
+	gauge(&m.HeapInuse, "triplec_go_heap_inuse_bytes", "Bytes in in-use heap spans at the last scrape.")
+	gauge(&m.TotalAlloc, "triplec_go_alloc_bytes_total", "Cumulative bytes allocated for heap objects (sampled at scrape time).")
+	gauge(&m.GCPauseLast, "triplec_go_gc_pause_last_ns", "Most recent GC stop-the-world pause in nanoseconds.")
+	gauge(&m.GCPauseTotal, "triplec_go_gc_pause_total_ns", "Cumulative GC stop-the-world pause in nanoseconds (sampled at scrape time).")
+	gauge(&m.GCRuns, "triplec_go_gc_runs_total", "Completed GC cycles (sampled at scrape time).")
+	if err != nil {
+		return nil, err
+	}
+	r.RegisterCollector(m.Collect)
+	return m, nil
+}
+
+// Collect refreshes the gauges from the runtime. It stops the world briefly
+// (runtime.ReadMemStats), which is fine per scrape and unacceptable per
+// frame — hence the collector design.
+func (m *RuntimeMetrics) Collect() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.Goroutines.Set(float64(runtime.NumGoroutine()))
+	m.HeapAlloc.Set(float64(ms.HeapAlloc))
+	m.HeapInuse.Set(float64(ms.HeapInuse))
+	m.TotalAlloc.Set(float64(ms.TotalAlloc))
+	if ms.NumGC > 0 {
+		m.GCPauseLast.Set(float64(ms.PauseNs[(ms.NumGC+255)%256]))
+	}
+	m.GCPauseTotal.Set(float64(ms.PauseTotalNs))
+	m.GCRuns.Set(float64(ms.NumGC))
+}

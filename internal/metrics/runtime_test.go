@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestSignedRelErr pins the degenerate-sample contract: non-finite values
+// on either side, and actuals too small to carry scale, are rejected
+// rather than turned into million-percent relative errors.
+func TestSignedRelErr(t *testing.T) {
+	cases := []struct {
+		name      string
+		predicted float64
+		actual    float64
+		want      float64
+		ok        bool
+	}{
+		{"over-prediction", 1.2, 1.0, 0.2, true},
+		{"under-prediction", 0.5, 1.0, -0.5, true},
+		{"exact", 3.0, 3.0, 0, true},
+		{"zero prediction", 0, 2.0, -1, true},
+		{"actual at the floor", 2e-6, MinActualMs, 1, true},
+		{"zero actual", 1.0, 0, 0, false},
+		{"actual below floor", 1.0, MinActualMs / 2, 0, false},
+		{"negative actual", 1.0, -1.0, 0, false},
+		{"NaN prediction", math.NaN(), 1.0, 0, false},
+		{"NaN actual", 1.0, math.NaN(), 0, false},
+		{"Inf prediction", math.Inf(1), 1.0, 0, false},
+		{"Inf actual", 1.0, math.Inf(-1), 0, false},
+	}
+	for _, tc := range cases {
+		rel, ok := SignedRelErr(tc.predicted, tc.actual)
+		if ok != tc.ok {
+			t.Errorf("%s: ok = %v, want %v", tc.name, ok, tc.ok)
+			continue
+		}
+		if !ok {
+			if rel != 0 {
+				t.Errorf("%s: degenerate sample returned rel %v, want 0", tc.name, rel)
+			}
+			continue
+		}
+		if math.Abs(rel-tc.want) > 1e-12 {
+			t.Errorf("%s: rel = %v, want %v", tc.name, rel, tc.want)
+		}
+	}
+}
+
+// TestAccountantDegenerateSamples checks degenerate predictions increment
+// the drop counter instead of poisoning the error histograms.
+func TestAccountantDegenerateSamples(t *testing.T) {
+	r := NewRegistry()
+	a, err := NewAccountant(r, AccountantConfig{Stream: "s0", Tasks: []string{"T0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.ObservePrediction(0, 1.0, 0)            // actual carries no scale
+	a.ObservePrediction(0, math.NaN(), 1.0)   // non-finite prediction
+	a.ObservePrediction(0, 1.0, math.Inf(1))  // non-finite actual
+	a.ObservePrediction(0, 1.1, 1.0)          // the one good sample
+	if got := a.Degenerate.Value(); got != 3 {
+		t.Errorf("degenerate counter = %v, want 3", got)
+	}
+	if got := a.TaskRelErr[0].Count(); got != 1 {
+		t.Errorf("rel-error histogram holds %d samples, want only the good one", got)
+	}
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for series, v := range parseExposition(t, b.String()) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("degenerate samples leaked a non-finite value into %s = %v", series, v)
+		}
+	}
+}
+
+// TestRuntimeMetrics registers the runtime health gauges and checks a
+// scrape refreshes them with sane values via the registered collector.
+func TestRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	m, err := NewRuntimeMetrics(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Values are only sampled at scrape time: render an exposition to fire
+	// the collector.
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.Goroutines.Value(); g < 1 {
+		t.Errorf("goroutines = %v, want at least this one", g)
+	}
+	if m.HeapAlloc.Value() <= 0 || m.HeapInuse.Value() <= 0 {
+		t.Errorf("heap gauges not sampled: alloc=%v inuse=%v",
+			m.HeapAlloc.Value(), m.HeapInuse.Value())
+	}
+	if m.TotalAlloc.Value() < m.HeapAlloc.Value() {
+		t.Errorf("cumulative alloc %v below live heap %v",
+			m.TotalAlloc.Value(), m.HeapAlloc.Value())
+	}
+	samples := parseExposition(t, b.String())
+	for _, fam := range []string{
+		"triplec_go_goroutines",
+		"triplec_go_heap_alloc_bytes",
+		"triplec_go_heap_inuse_bytes",
+		"triplec_go_alloc_bytes_total",
+		"triplec_go_gc_pause_last_ns",
+		"triplec_go_gc_pause_total_ns",
+		"triplec_go_gc_runs_total",
+	} {
+		if _, found := samples[fam]; !found {
+			t.Errorf("family %s missing from exposition", fam)
+		}
+	}
+
+	// The family names are claimed once; a second registration must fail
+	// rather than silently fork the gauges.
+	if _, err := NewRuntimeMetrics(r); err == nil {
+		t.Error("duplicate runtime metric registration accepted")
+	}
+}

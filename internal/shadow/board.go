@@ -1,0 +1,404 @@
+package shadow
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"triplec/internal/core"
+	"triplec/internal/flowgraph"
+	"triplec/internal/metrics"
+	"triplec/internal/tasks"
+)
+
+// scenarioLabel renders the stable human label for a scenario index.
+func scenarioLabel(si int) string { return flowgraph.FromIndex(si).String() }
+
+// cell accumulates one error distribution: a (backend, scenario, task)
+// coordinate of the scoreboard, with the total-ms column as a tenth
+// pseudo-task.
+type cell struct {
+	count                  uint64
+	within                 uint64
+	sumAbsRel, sumSignedRel float64
+	maxAbsRel              float64
+	sumAbsMs               float64
+}
+
+// accurateRelErr is the tolerance under which a forecast counts as
+// accurate: the Accuracy() scalar is the fraction of samples inside it,
+// which stays meaningful when rare scenario-miss frames blow up the mean.
+const accurateRelErr = 0.25
+
+func (c *cell) add(rel, absMs float64) {
+	c.count++
+	a := math.Abs(rel)
+	if a <= accurateRelErr {
+		c.within++
+	}
+	c.sumAbsRel += a
+	c.sumSignedRel += rel
+	if a > c.maxAbsRel {
+		c.maxAbsRel = a
+	}
+	c.sumAbsMs += absMs
+}
+
+// totalCol is the cells column index carrying the whole-frame total.
+const totalCol = tasks.NumNames
+
+// backendInstruments is the optional per-backend Prometheus family set.
+type backendInstruments struct {
+	hits, misses *metrics.Counter
+	degenerate   *metrics.Counter
+	totalRelErr  *metrics.Histogram
+	absErrMs     *metrics.Histogram
+	regretMs     *metrics.Gauge
+}
+
+// backendState is one raced backend plus everything scored against it.
+type backendState struct {
+	backend core.Backend
+	name    string
+	pred    core.FramePrediction
+
+	cells        [8][tasks.NumNames + 1]cell // indexed by ACTUAL scenario
+	hits, misses uint64
+	degenerate   uint64
+	regretMs     float64 // cumulative |total err| − |baseline total err|
+
+	inst *backendInstruments
+}
+
+// Board races a set of backends over one live observation stream. Each
+// ObserveFrame scores every backend's previous forecast against the
+// actuals, then lets every backend observe and re-predict — strictly
+// read-only with respect to scheduling, and allocation-free once
+// constructed. All methods are safe for concurrent use; the serving loop
+// is the single writer in practice.
+type Board struct {
+	mu       sync.Mutex
+	stream   string
+	backends []*backendState
+
+	warmup     int // frames after a reset whose forecasts are not scored
+	warmupLeft int
+	observed   uint64 // frames fed
+	scored     uint64 // frames that contributed to the distributions
+	havePred   bool
+
+	frames *metrics.Counter // optional triplec_shadow_frames_total
+}
+
+// NewBoard builds a scoreboard over the given backends. Index 0 is the
+// regret reference (conventionally the deployed baseline); at least two
+// backends make a race. Backend names must be unique.
+func NewBoard(stream string, backends []core.Backend) (*Board, error) {
+	if len(backends) < 2 {
+		return nil, errors.New("shadow: a bake-off needs at least two backends")
+	}
+	b := &Board{stream: stream}
+	seen := map[string]bool{}
+	for _, be := range backends {
+		name := be.Name()
+		if seen[name] {
+			return nil, fmt.Errorf("shadow: duplicate backend name %q", name)
+		}
+		seen[name] = true
+		b.backends = append(b.backends, &backendState{backend: be, name: name})
+	}
+	return b, nil
+}
+
+// Stream returns the stream label the board was built for.
+func (b *Board) Stream() string { return b.stream }
+
+// Deployed returns the regret-reference backend's name.
+func (b *Board) Deployed() string { return b.backends[0].name }
+
+// SetWarmup sets how many forecasts after each reset go unscored (they
+// still train the backends). Applies from the next ResetSequence.
+func (b *Board) SetWarmup(n int) {
+	b.mu.Lock()
+	b.warmup = n
+	b.warmupLeft = n
+	b.mu.Unlock()
+}
+
+// EnableMetrics registers the per-backend Prometheus families on the
+// registry: hit/miss and degenerate counters, signed total relative-error
+// and absolute-error histograms, and the cumulative regret gauge, all
+// labelled {backend, stream}.
+func (b *Board) EnableMetrics(r *metrics.Registry) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	sl := metrics.L("stream", b.stream)
+	var err error
+	b.frames, err = r.NewCounter("triplec_shadow_frames_total",
+		"Frames scored by the shadow bake-off.", sl)
+	if err != nil {
+		return err
+	}
+	for _, st := range b.backends {
+		bl := metrics.L("backend", st.name)
+		inst := &backendInstruments{}
+		if inst.hits, err = r.NewCounter("triplec_shadow_scenario_hit_total",
+			"Frames whose scenario this shadow backend predicted correctly.", bl, sl); err != nil {
+			return err
+		}
+		if inst.misses, err = r.NewCounter("triplec_shadow_scenario_miss_total",
+			"Frames whose scenario this shadow backend mispredicted.", bl, sl); err != nil {
+			return err
+		}
+		if inst.degenerate, err = r.NewCounter("triplec_shadow_degenerate_samples_total",
+			"Shadow prediction samples dropped as degenerate (actual ≈ 0 or non-finite).", bl, sl); err != nil {
+			return err
+		}
+		if inst.totalRelErr, err = r.NewHistogram("triplec_shadow_total_rel_error",
+			"Signed relative error of the backend's total-ms forecast.",
+			metrics.DefaultSignedErrorBuckets(), bl, sl); err != nil {
+			return err
+		}
+		if inst.absErrMs, err = r.NewHistogram("triplec_shadow_abs_error_ms",
+			"Absolute error of the backend's total-ms forecast.",
+			metrics.DefaultLatencyBucketsMs(), bl, sl); err != nil {
+			return err
+		}
+		if inst.regretMs, err = r.NewGauge("triplec_shadow_regret_ms",
+			"Cumulative |total error| minus the deployed baseline's — positive means worse than deployed.", bl, sl); err != nil {
+			return err
+		}
+		st.inst = inst
+	}
+	return nil
+}
+
+// ObserveFrame feeds one executed frame: score every backend's standing
+// forecast against it, then observe and re-predict. Allocation-free.
+func (b *Board) ObserveFrame(obs *core.FrameObs) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.havePred {
+		if b.warmupLeft > 0 {
+			b.warmupLeft--
+		} else {
+			b.score(obs)
+		}
+	}
+	for _, st := range b.backends {
+		st.backend.Observe(obs)
+		st.backend.Predict(&st.pred)
+	}
+	b.havePred = true
+	b.observed++
+}
+
+func (b *Board) score(obs *core.FrameObs) {
+	si := obs.Scenario.Index()
+	baseAbs := math.Abs(b.backends[0].pred.TotalMs - obs.TotalMs)
+	for _, st := range b.backends {
+		p := &st.pred
+		if p.Scenario == obs.Scenario {
+			st.hits++
+			if st.inst != nil {
+				st.inst.hits.Inc()
+			}
+		} else {
+			st.misses++
+			if st.inst != nil {
+				st.inst.misses.Inc()
+			}
+		}
+		absMs := math.Abs(p.TotalMs - obs.TotalMs)
+		if rel, ok := metrics.SignedRelErr(p.TotalMs, obs.TotalMs); ok {
+			st.cells[si][totalCol].add(rel, absMs)
+			if st.inst != nil {
+				st.inst.totalRelErr.Observe(rel)
+				st.inst.absErrMs.Observe(absMs)
+			}
+		} else {
+			st.degenerate++
+			if st.inst != nil {
+				st.inst.degenerate.Inc()
+			}
+		}
+		for ti := 0; ti < tasks.NumNames; ti++ {
+			bit := uint16(1) << uint(ti)
+			if obs.Mask&bit == 0 || p.Mask&bit == 0 {
+				continue
+			}
+			if rel, ok := metrics.SignedRelErr(p.TaskMs[ti], obs.TaskMs[ti]); ok {
+				st.cells[si][ti].add(rel, math.Abs(p.TaskMs[ti]-obs.TaskMs[ti]))
+			} else {
+				st.degenerate++
+				if st.inst != nil {
+					st.inst.degenerate.Inc()
+				}
+			}
+		}
+		if !math.IsNaN(absMs) && !math.IsInf(absMs, 0) &&
+			!math.IsNaN(baseAbs) && !math.IsInf(baseAbs, 0) {
+			st.regretMs += absMs - baseAbs
+			if st.inst != nil {
+				st.inst.regretMs.Set(st.regretMs)
+			}
+		}
+	}
+	b.scored++
+	if b.frames != nil {
+		b.frames.Inc()
+	}
+}
+
+// ResetSequence clears per-sequence online state on every backend and
+// drops the standing forecasts — sequence boundaries must not be scored
+// as transitions. The next warmup forecasts go unscored.
+func (b *Board) ResetSequence() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, st := range b.backends {
+		st.backend.Reset()
+		st.pred = core.FramePrediction{}
+	}
+	b.havePred = false
+	b.warmupLeft = b.warmup
+}
+
+// CellStats summarizes one error distribution for snapshots and reports.
+// Means are derivable from the sums; both are kept so fold aggregation
+// can merge snapshots without revisiting the raw frames.
+type CellStats struct {
+	Count uint64 `json:"count"`
+	// Within25 counts samples whose |relative error| ≤ 0.25.
+	Within25     uint64  `json:"within25"`
+	MeanAbsRel   float64 `json:"meanAbsRel"`
+	MeanSignedRel float64 `json:"meanSignedRel"`
+	MaxAbsRel    float64 `json:"maxAbsRel"`
+	MeanAbsMs    float64 `json:"meanAbsMs"`
+}
+
+func (c *cell) stats() CellStats {
+	s := CellStats{Count: c.count, Within25: c.within, MaxAbsRel: c.maxAbsRel}
+	if c.count > 0 {
+		n := float64(c.count)
+		s.MeanAbsRel = c.sumAbsRel / n
+		s.MeanSignedRel = c.sumSignedRel / n
+		s.MeanAbsMs = c.sumAbsMs / n
+	}
+	return s
+}
+
+// merge folds other into s as a weighted combination.
+func (s *CellStats) merge(o CellStats) {
+	if o.Count == 0 {
+		return
+	}
+	n, m := float64(s.Count), float64(o.Count)
+	s.MeanAbsRel = (s.MeanAbsRel*n + o.MeanAbsRel*m) / (n + m)
+	s.MeanSignedRel = (s.MeanSignedRel*n + o.MeanSignedRel*m) / (n + m)
+	s.MeanAbsMs = (s.MeanAbsMs*n + o.MeanAbsMs*m) / (n + m)
+	if o.MaxAbsRel > s.MaxAbsRel {
+		s.MaxAbsRel = o.MaxAbsRel
+	}
+	s.Count += o.Count
+	s.Within25 += o.Within25
+}
+
+// ScenarioStats is one scenario's total-ms error distribution.
+type ScenarioStats struct {
+	Index    int       `json:"index"`
+	Scenario string    `json:"scenario"`
+	Total    CellStats `json:"total"`
+}
+
+// TaskStats is one task's error distribution across scenarios.
+type TaskStats struct {
+	Task  string    `json:"task"`
+	Stats CellStats `json:"stats"`
+}
+
+// BackendSnapshot is one backend's scoreboard state.
+type BackendSnapshot struct {
+	Name            string          `json:"name"`
+	ScenarioHits    uint64          `json:"scenarioHits"`
+	ScenarioMisses  uint64          `json:"scenarioMisses"`
+	ScenarioHitRate float64         `json:"scenarioHitRate"`
+	Degenerate      uint64          `json:"degenerateSamples"`
+	RegretMs        float64         `json:"regretMs"`
+	Total           CellStats       `json:"total"`
+	Scenarios       []ScenarioStats `json:"scenarios,omitempty"`
+	Tasks           []TaskStats     `json:"tasks,omitempty"`
+}
+
+// Accuracy returns the fraction of scored frames whose total-ms forecast
+// landed within 25% of the actual — the scalar the CI floor gates on. A
+// tolerance fraction is robust where 1 − mean|rel| is not: the rare
+// scenario-miss frames carry relative errors of several hundred percent
+// and would let a handful of misses erase an otherwise tight backend.
+func (s *BackendSnapshot) Accuracy() float64 {
+	if s.Total.Count == 0 {
+		return 0
+	}
+	return float64(s.Total.Within25) / float64(s.Total.Count)
+}
+
+// BoardSnapshot is a point-in-time copy of a board's scoreboard, in
+// backend registration order (index 0 = regret reference).
+type BoardSnapshot struct {
+	Stream         string            `json:"stream"`
+	Deployed       string            `json:"deployed"`
+	FramesObserved uint64            `json:"framesObserved"`
+	FramesScored   uint64            `json:"framesScored"`
+	Backends       []BackendSnapshot `json:"backends"`
+}
+
+// Snapshot copies the scoreboard. Fine to call concurrently with
+// ObserveFrame; it allocates, so keep it off the frame path.
+func (b *Board) Snapshot() BoardSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := BoardSnapshot{
+		Stream:         b.stream,
+		Deployed:       b.backends[0].name,
+		FramesObserved: b.observed,
+		FramesScored:   b.scored,
+	}
+	taskNames := tasks.AllNames()
+	for _, st := range b.backends {
+		bs := BackendSnapshot{
+			Name:           st.name,
+			ScenarioHits:   st.hits,
+			ScenarioMisses: st.misses,
+			Degenerate:     st.degenerate,
+			RegretMs:       st.regretMs,
+		}
+		if total := st.hits + st.misses; total > 0 {
+			bs.ScenarioHitRate = float64(st.hits) / float64(total)
+		}
+		for si := 0; si < 8; si++ {
+			c := &st.cells[si][totalCol]
+			if c.count > 0 {
+				bs.Scenarios = append(bs.Scenarios, ScenarioStats{
+					Index:    si,
+					Scenario: scenarioLabel(si),
+					Total:    c.stats(),
+				})
+				bs.Total.merge(c.stats())
+			}
+		}
+		for ti := 0; ti < tasks.NumNames; ti++ {
+			var agg CellStats
+			for si := 0; si < 8; si++ {
+				if st.cells[si][ti].count > 0 {
+					agg.merge(st.cells[si][ti].stats())
+				}
+			}
+			if agg.Count > 0 {
+				bs.Tasks = append(bs.Tasks, TaskStats{Task: string(taskNames[ti]), Stats: agg})
+			}
+		}
+		out.Backends = append(out.Backends, bs)
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package shadow
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+)
+
+// Handler serves /debug/predictorz: the live bake-off scoreboard of every
+// board, one section per stream — backend accuracy, bias, scenario hit
+// rate, regret against the deployed predictor, and the per-scenario and
+// per-task mean-error matrices. Rendering snapshots the boards; the frame
+// path is untouched.
+func Handler(boards []*Board) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if len(boards) == 0 {
+			http.Error(w, "shadow evaluation disabled (run serve -shadow)", http.StatusNotFound)
+			return
+		}
+		snaps := make([]predictorzBoard, 0, len(boards))
+		for _, b := range boards {
+			snaps = append(snaps, newPredictorzBoard(b.Snapshot()))
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if err := predictorzTmpl.Execute(w, snaps); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+var predictorzTmpl = template.Must(template.New("predictorz").Parse(`<!doctype html>
+<html><head><title>predictorz</title><style>
+body{font-family:monospace;margin:2em}
+table{border-collapse:collapse;margin:0.6em 0 1.4em}
+td,th{border:1px solid #ccc;padding:4px 10px;text-align:right}
+td:first-child,th:first-child{text-align:left}
+th{background:#eee}
+.deployed{background:#eef6ee}
+.neg{color:#271}
+.pos{color:#a33}
+h2{margin-top:1.6em}
+</style></head><body>
+<h1>predictor shadow bake-off</h1>
+{{range .}}
+<h2>stream {{.Stream}}</h2>
+<p>deployed: <b>{{.Deployed}}</b> &middot; {{.FramesScored}} frames scored
+of {{.FramesObserved}} observed</p>
+<table>
+<tr><th>backend</th><th>frames</th><th>accuracy</th><th>bias</th><th>max |rel|</th><th>scenario hit</th><th>regret/frame ms</th><th>degenerate</th></tr>
+{{range .Backends}}<tr{{if .IsDeployed}} class="deployed"{{end}}>
+<td>{{.Name}}</td><td>{{.Frames}}</td><td>{{.Accuracy}}</td><td>{{.Bias}}</td>
+<td>{{.MaxRel}}</td><td>{{.HitRate}}</td>
+<td class="{{.RegretClass}}">{{.RegretPerFrame}}</td><td>{{.Degenerate}}</td>
+</tr>{{end}}
+</table>
+{{if .Scenarios}}
+<table>
+<tr><th>mean |rel| by scenario</th>{{range .BackendNames}}<th>{{.}}</th>{{end}}</tr>
+{{range .Scenarios}}<tr><td>{{.Label}}</td>{{range .Cells}}<td>{{.}}</td>{{end}}</tr>{{end}}
+</table>
+{{end}}
+{{if .Tasks}}
+<table>
+<tr><th>mean |rel| by task</th>{{range .BackendNames}}<th>{{.}}</th>{{end}}</tr>
+{{range .Tasks}}<tr><td>{{.Label}}</td>{{range .Cells}}<td>{{.}}</td>{{end}}</tr>{{end}}
+</table>
+{{end}}
+{{end}}
+</body></html>
+`))
+
+type predictorzRow struct {
+	Label string
+	Cells []string
+}
+
+type predictorzBackend struct {
+	Name           string
+	IsDeployed     bool
+	Frames         uint64
+	Accuracy       string
+	Bias           string
+	MaxRel         string
+	HitRate        string
+	RegretPerFrame string
+	RegretClass    string
+	Degenerate     uint64
+}
+
+type predictorzBoard struct {
+	Stream         string
+	Deployed       string
+	FramesObserved uint64
+	FramesScored   uint64
+	Backends       []predictorzBackend
+	BackendNames   []string
+	Scenarios      []predictorzRow
+	Tasks          []predictorzRow
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+func newPredictorzBoard(snap BoardSnapshot) predictorzBoard {
+	out := predictorzBoard{
+		Stream:         snap.Stream,
+		Deployed:       snap.Deployed,
+		FramesObserved: snap.FramesObserved,
+		FramesScored:   snap.FramesScored,
+	}
+	for i, b := range snap.Backends {
+		regretPerFrame := 0.0
+		if b.Total.Count > 0 {
+			regretPerFrame = b.RegretMs / float64(b.Total.Count)
+		}
+		cls := "neg"
+		if regretPerFrame > 0 {
+			cls = "pos"
+		}
+		out.Backends = append(out.Backends, predictorzBackend{
+			Name:           b.Name,
+			IsDeployed:     i == 0,
+			Frames:         b.Total.Count,
+			Accuracy:       pct(b.Accuracy()),
+			Bias:           fmt.Sprintf("%+.1f%%", 100*b.Total.MeanSignedRel),
+			MaxRel:         pct(b.Total.MaxAbsRel),
+			HitRate:        pct(b.ScenarioHitRate),
+			RegretPerFrame: fmt.Sprintf("%+.3f", regretPerFrame),
+			RegretClass:    cls,
+			Degenerate:     b.Degenerate,
+		})
+		out.BackendNames = append(out.BackendNames, b.Name)
+	}
+	for si := 0; si < 8; si++ {
+		row := predictorzRow{Label: scenarioLabel(si)}
+		any := false
+		for _, b := range snap.Backends {
+			cellStr := "-"
+			for _, s := range b.Scenarios {
+				if s.Index == si {
+					cellStr = pct(s.Total.MeanAbsRel)
+					any = true
+					break
+				}
+			}
+			row.Cells = append(row.Cells, cellStr)
+		}
+		if any {
+			out.Scenarios = append(out.Scenarios, row)
+		}
+	}
+	// Task rows in pipeline order, taken from the union the backends carry.
+	taskOrder := []string{}
+	seen := map[string]bool{}
+	for _, b := range snap.Backends {
+		for _, t := range b.Tasks {
+			if !seen[t.Task] {
+				seen[t.Task] = true
+				taskOrder = append(taskOrder, t.Task)
+			}
+		}
+	}
+	for _, task := range taskOrder {
+		row := predictorzRow{Label: task}
+		for _, b := range snap.Backends {
+			cellStr := "-"
+			for _, t := range b.Tasks {
+				if t.Task == task {
+					cellStr = pct(t.Stats.MeanAbsRel)
+					break
+				}
+			}
+			row.Cells = append(row.Cells, cellStr)
+		}
+		out.Tasks = append(out.Tasks, row)
+	}
+	return out
+}

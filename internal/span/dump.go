@@ -57,6 +57,7 @@ func WriteDump(w io.Writer, meta Meta, events []Event, hdr dumpHeader) error {
 			"frame":     hdr.Frame,
 			"detail":    hdr.Detail,
 			"coalesced": hdr.Coalesced,
+			"predictor": meta.Predictor,
 		},
 		TraceEvents: make([]traceEvent, 0, len(events)+len(meta.Streams)+1),
 	}
@@ -199,6 +200,9 @@ type Dump struct {
 	Frame     int
 	Detail    float64
 	Coalesced int
+	// Predictor is the deployed prediction backend active when the dump
+	// triggered (empty in dumps written before the field existed).
+	Predictor string
 	Processes map[int]string
 	Frames    []DumpFrame
 	Instants  []DumpInstant
@@ -244,6 +248,7 @@ func ReadDump(r io.Reader) (*Dump, error) {
 		Frame:     argInt(tf.OtherData, "frame"),
 		Detail:    argFloat(tf.OtherData, "detail"),
 		Coalesced: argInt(tf.OtherData, "coalesced"),
+		Predictor: argString(tf.OtherData, "predictor"),
 		Processes: map[int]string{},
 	}
 

@@ -11,6 +11,7 @@ var testMeta = Meta{
 	Tasks:     []string{"T0", "T1", "T2"},
 	Scenarios: []string{"sc0", "sc1", "sc2"},
 	Qualities: []string{"full", "half"},
+	Predictor: "test-predictor",
 }
 
 // buildRing commits a known mix of frames and instants and returns the
@@ -63,6 +64,9 @@ func TestDumpRoundTrip(t *testing.T) {
 	if d.Reason != "deadline_miss" || d.Stream != 1 || d.Frame != 3 ||
 		d.Detail != 9.5 || d.Coalesced != 2 {
 		t.Errorf("header lost: %+v", d)
+	}
+	if d.Predictor != "test-predictor" {
+		t.Errorf("predictor metadata lost: %q, want %q", d.Predictor, "test-predictor")
 	}
 	if len(d.Frames) != wantFrames {
 		t.Errorf("frames = %d, want %d", len(d.Frames), wantFrames)

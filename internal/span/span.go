@@ -183,6 +183,10 @@ type Meta struct {
 	Tasks     []string
 	Scenarios []string
 	Qualities []string
+	// Predictor names the deployed prediction backend; it is stamped into
+	// dump metadata so a recorded incident can be tied back to the
+	// predictor that was steering the scheduler when it happened.
+	Predictor string
 }
 
 func label(table []string, i int, prefix string) string {

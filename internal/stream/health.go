@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"math"
 	"net/http"
+
+	"triplec/internal/core"
 )
 
 // Health is one stream's live serving summary, assembled from the stream's
@@ -30,8 +32,17 @@ type Health struct {
 	LastFrame       int    `json:"last_frame"`
 	QualityLevel    int    `json:"quality_level"`
 
+	// Predictor identifies the deployed prediction backend steering this
+	// stream's scheduling decisions.
+	Predictor string `json:"predictor"`
+
 	MissRate        float64 `json:"miss_rate"`
 	ScenarioHitRate float64 `json:"scenario_hit_rate"`
+	// RollingScenarioHitRate is the hit fraction over the last
+	// RollingScenarioSamples (≤ 64) forecasts — a drift probe that reacts
+	// where the cumulative ScenarioHitRate averages it away.
+	RollingScenarioHitRate float64 `json:"rolling_scenario_hit_rate"`
+	RollingScenarioSamples int     `json:"rolling_scenario_samples"`
 	BudgetMs        float64 `json:"budget_ms"`
 	LastLatencyMs   float64 `json:"last_latency_ms"`
 	MeanLatencyMs   float64 `json:"mean_latency_ms"`
@@ -92,6 +103,7 @@ func (s *Server) Healths() []Health {
 			TaskPanics:      t.taskPanics.Value(),
 			LastFrame:       int(finiteOr0(a.LastFrame.Value())),
 			QualityLevel:    int(finiteOr0(t.qualityLevel.Value())),
+			Predictor:       core.BackendBaseline,
 			MissRate:        finiteOr0(a.MissRate()),
 			ScenarioHitRate: finiteOr0(a.ScenarioHitRate()),
 			BudgetMs:        finiteOr0(a.BudgetMs.Value()),
@@ -100,6 +112,8 @@ func (s *Server) Healths() []Health {
 			P95LatencyMs:    finiteOr0(lat.Quantile(0.95)),
 			CoreBudget:      finiteOr0(a.CoreBudget.Value()),
 		}
+		h.RollingScenarioHitRate, h.RollingScenarioSamples = t.rollingScenarioHitRate()
+		h.RollingScenarioHitRate = finiteOr0(h.RollingScenarioHitRate)
 		if msg, ok := t.errMsg.Load().(string); ok {
 			h.Error = msg
 		}

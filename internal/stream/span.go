@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"triplec/internal/core"
 	"triplec/internal/flowgraph"
 	"triplec/internal/pipeline"
 	"triplec/internal/span"
@@ -23,6 +24,7 @@ func spanMeta(streams []Config) span.Meta {
 		Tasks:     make([]string, tasks.NumNames),
 		Scenarios: make([]string, 8),
 		Qualities: make([]string, int(pipeline.QualityMax)+1),
+		Predictor: core.BackendBaseline,
 	}
 	for i, sc := range streams {
 		m.Streams[i] = streamLabel(sc, i)

@@ -34,6 +34,7 @@ import (
 	"triplec/internal/partition"
 	"triplec/internal/pipeline"
 	"triplec/internal/sched"
+	"triplec/internal/shadow"
 	"triplec/internal/span"
 	"triplec/internal/trace"
 )
@@ -57,6 +58,12 @@ type Config struct {
 	// caller's choice); its budget is re-initialized from the crashed
 	// manager automatically.
 	Rebuild func() (*pipeline.Engine, *sched.Manager, error)
+	// Shadow, when set, receives every processed frame's dense observation
+	// for the predictor bake-off. Strictly read-only with respect to
+	// scheduling: the board's backends race the deployed predictor but
+	// nothing they produce flows back into planning, and the frame-path
+	// cost is one mutex-guarded scoring pass with zero allocations.
+	Shadow *shadow.Board
 }
 
 // ServerConfig tunes the serving layer.
@@ -412,6 +419,10 @@ type runner struct {
 	res          Result
 	latencySum   float64
 	sinceRestart int // frames resolved since the last (re)start
+
+	// shadowObs is the reusable dense observation handed to the shadow
+	// board each frame (scratch space keeps the path allocation-free).
+	shadowObs core.FrameObs
 }
 
 // serveOne is the per-stream goroutine body: admission, planning,
@@ -605,6 +616,10 @@ func (r *runner) serveFrames(start int) (failedAt int, stalled bool, err error) 
 			r.ctl.setBudgetMs(r.si, r.mgr.BudgetMs)
 		}
 		r.mgr.Observe(core.FromReports([]pipeline.Report{rep}, sc.FramePixels)[0])
+		if sc.Shadow != nil {
+			core.DenseFromReport(&rep, sc.FramePixels, &r.shadowObs)
+			sc.Shadow.ObserveFrame(&r.shadowObs)
+		}
 
 		res.Stats.Processed++
 		r.sinceRestart++

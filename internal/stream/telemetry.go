@@ -2,6 +2,7 @@ package stream
 
 import (
 	"fmt"
+	"math/bits"
 	"sync/atomic"
 
 	"triplec/internal/bandwidth"
@@ -47,7 +48,18 @@ type telemetry struct {
 
 	state  atomic.Int32 // streamIdle | streamServing | streamDone | streamFailed
 	errMsg atomic.Value // string; last serve error
+
+	// Rolling scenario-forecast window for /healthz: the low bit of each
+	// sample shifts into scenarioWin (1 = hit), scenarioWinN saturates at
+	// 64. Written only by the serving goroutine inside ScenarioSample;
+	// readers snapshot both atomics (a torn pair can skew the rate by at
+	// most one frame, fine for a health probe).
+	scenarioWin  atomic.Uint64
+	scenarioWinN atomic.Uint64
 }
+
+// scenarioWindow is the rolling hit-rate window size.
+const scenarioWindow = 64
 
 const (
 	streamIdle = int32(iota)
@@ -181,11 +193,33 @@ func (t *telemetry) TaskSample(task tasks.Name, predictedMs, actualMs float64) {
 // accurate).
 func (t *telemetry) ScenarioSample(predicted, actual flowgraph.Scenario) {
 	t.acct.ObserveScenario(predicted == actual)
+	bit := uint64(0)
+	if predicted == actual {
+		bit = 1
+	}
+	t.scenarioWin.Store(t.scenarioWin.Load()<<1 | bit)
+	if n := t.scenarioWinN.Load(); n < scenarioWindow {
+		t.scenarioWinN.Store(n + 1)
+	}
 	pi, ai := predicted.Index(), actual.Index()
 	t.acct.ObserveResourceErr(
 		metrics.RelErr(t.bwMBs[pi], t.bwMBs[ai]),
 		metrics.RelErr(t.cacheKB[pi], t.cacheKB[ai]),
 	)
+}
+
+// rollingScenarioHitRate reports the hit fraction over the last
+// min(samples, 64) scenario forecasts, and how many samples back it.
+func (t *telemetry) rollingScenarioHitRate() (rate float64, samples int) {
+	n := t.scenarioWinN.Load()
+	if n == 0 {
+		return 0, 0
+	}
+	win := t.scenarioWin.Load()
+	if n < scenarioWindow {
+		win &= (1 << n) - 1
+	}
+	return float64(bits.OnesCount64(win)) / float64(n), int(n)
 }
 
 // Serving-loop events, nil-safe so serveOne needs no telemetry branches.
