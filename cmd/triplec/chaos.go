@@ -13,7 +13,9 @@ import (
 	"triplec/internal/fault"
 	"triplec/internal/metrics"
 	"triplec/internal/pipeline"
+	"triplec/internal/promote"
 	"triplec/internal/sched"
+	"triplec/internal/shadow"
 	"triplec/internal/span"
 	"triplec/internal/stream"
 	"triplec/internal/tasks"
@@ -51,6 +53,8 @@ func runChaos(args []string) error {
 	jsonOut := fs.Bool("json", false, "emit the survival stats as JSON on stdout (progress goes to stderr)")
 	traceDir := fs.String("trace-dir", "", "enable span tracing; write triggered flight-recorder dumps into this directory")
 	breaker := fs.Bool("breaker", false, "gate optional tasks on faulted streams behind per-task circuit breakers")
+	challenger := fs.String("challenger", "",
+		"run guarded predictor promotion under the chaos: miscal (deliberately miscalibrated challenger) or a shadow backend name; containment fails if the challenger is still steering when the run ends or was never rolled back")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,6 +103,26 @@ func runChaos(args []string) error {
 	study := experiments.DefaultStudy()
 	study.TrainSeqs = *train
 	study.TrainFrames = 60
+
+	// Guarded promotion under chaos: every stream gets a shadow board
+	// racing the roster (plus the deliberately miscalibrated challenger for
+	// -challenger miscal), and the controller canaries the challenger while
+	// the faults fly. The containment checks below demand it got caught.
+	var ctl *promote.Controller
+	var shadowTrain [][]core.Observation
+	if *challenger != "" {
+		name := *challenger
+		if name == "miscal" {
+			name = shadow.BackendMiscal
+		}
+		var err error
+		if ctl, err = promote.NewController(promote.Config{Challenger: name}); err != nil {
+			return fmt.Errorf("chaos: %w", err)
+		}
+		if shadowTrain, err = study.TrainingSets(); err != nil {
+			return err
+		}
+	}
 
 	fmt.Fprintf(out, "training Triple-C on %d sequences x %d frames...\n", study.TrainSeqs, study.TrainFrames)
 	// One stream's engine+manager pair around a stream-private predictor
@@ -174,6 +198,24 @@ func runChaos(args []string) error {
 				return build(p, hook, gate)
 			},
 		}
+		if ctl != nil {
+			backends, err := shadow.TrainBackends(p, shadowTrain, core.TrainConfig{})
+			if err != nil {
+				return err
+			}
+			if *challenger == "miscal" {
+				inner, err := shadow.TrainBackends(p, shadowTrain, core.TrainConfig{})
+				if err != nil {
+					return err
+				}
+				backends = append(backends, shadow.NewMiscalibrated(inner[0], 0.25))
+			}
+			board, err := shadow.NewBoard(name, backends)
+			if err != nil {
+				return err
+			}
+			cfgs[i].Shadow = board
+		}
 	}
 
 	hostWorkers := *workers
@@ -192,9 +234,15 @@ func runChaos(args []string) error {
 		Degrade:       true,
 		Metrics:       reg,
 		Flight:        flight,
+		Promote:       ctl,
 	}, cfgs)
 	if err != nil {
 		return err
+	}
+	if ctl != nil {
+		if err := ctl.EnableMetrics(reg); err != nil {
+			return err
+		}
 	}
 
 	fmt.Fprintf(out, "chaos: %d streams (%d faulted) x %d frames on %d host cores, plan panic=%.0f%% hang=%.0f%% spike=%.0f%% corrupt=%.0f%%\n",
@@ -261,6 +309,34 @@ func runChaos(args []string) error {
 	fmt.Fprintf(out, "\naggregate: %.1f frames/s over %.0f ms wall clock, %d rebalances, final core split %v\n",
 		res.AggregateFPS, res.WallMs, res.Rebalances, res.FinalBudgets)
 
+	if ctl != nil {
+		st := ctl.Status()
+		fmt.Fprintf(out, "promotion under chaos: state=%s transitions=%d\n", st.State, st.Transitions)
+		if err := ctl.WriteLog(out); err != nil {
+			return err
+		}
+		report.Promotion = &st
+		// Containment: a challenger that is wrong for this workload must be
+		// caught — fleet-wide promotion, or never rolling back at all, means
+		// the guardrails failed. Ending mid-canary is fine: the canary is
+		// the probation stage, capped at CanaryFrac of the streams, and the
+		// rollback requirement below proves the guards fire on it.
+		if final := ctl.State(); final == promote.StatePromoted {
+			failures = append(failures, fmt.Sprintf(
+				"challenger promoted fleet-wide under chaos: final promotion state %s", final))
+		}
+		caught := false
+		for _, t := range ctl.Transitions() {
+			if t.To == promote.StateRolledBack || t.To == promote.StateQuarantined {
+				caught = true
+				break
+			}
+		}
+		if !caught {
+			failures = append(failures, "challenger was never rolled back or quarantined under chaos")
+		}
+	}
+
 	if flight != nil {
 		report.Dumps = flight.Dumps()
 		fmt.Fprintf(out, "flight recorder: %d dump(s) in %s\n", len(report.Dumps), flight.Dir())
@@ -307,6 +383,7 @@ type chaosReport struct {
 	Rebalances   int                 `json:"rebalances"`
 	FinalBudgets []int               `json:"final_budgets"`
 	Dumps        []span.DumpInfo     `json:"dumps,omitempty"`
+	Promotion    *promote.Status     `json:"promotion,omitempty"`
 }
 
 type chaosStreamReport struct {

@@ -16,6 +16,9 @@
 //	triplec bench [-short] [-out BENCH_6.json] [-min-speedup 1.0]
 //	triplec shadow [-short] [-seed s] [-seqs n] [-frames n] [-folds k]
 //	  [-warmup n] [-out report.json] [-min-acc 0.70] [-quiet]
+//	triplec promote [-streams n] [-frames n] [-seed s] [-challenger name]
+//	  [-canary-frac f] [-guard-miss-rate r] [-spike-prob p] [-out log.txt]
+//	  [-expect state] [-json]
 //	triplec trace dump.json
 //
 // The serve subcommand runs the concurrent multi-stream serving layer: N
@@ -51,6 +54,17 @@
 // `serve -shadow` races the same roster live while serving: the scoreboard
 // is exposed on /debug/predictorz and as per-backend /metrics families,
 // with zero influence on scheduling. See internal/shadow.
+//
+// The promote subcommand replays the guarded predictor-promotion state
+// machine (internal/promote) deterministically: a challenger that beats the
+// deployed baseline on rolling shadow regret is canaried onto a fraction of
+// the streams, guardrail SLOs (rolling miss rate, accuracy, bias, scenario
+// hit rate) gate the fleet-wide switchover, and a breach rolls the fleet
+// back to the baseline with exponential cooldown. Same-flag runs produce
+// byte-identical transition logs. `serve -predictor auto` runs the same
+// controller live: per-stream steering shows as the /healthz "predictor"
+// field, the fleet state as healthReport "promotion" and the
+// triplec_promote_* metric families.
 //
 // Both serving subcommands accept -trace-dir to enable the per-frame span
 // tracing layer (internal/span): an always-on flight recorder whose
@@ -98,6 +112,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "shadow" {
 		if err := runShadow(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "triplec shadow:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "promote" {
+		if err := runPromote(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "triplec promote:", err)
 			os.Exit(1)
 		}
 		return

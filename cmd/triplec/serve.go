@@ -16,6 +16,7 @@ import (
 	"triplec/internal/experiments"
 	"triplec/internal/mapping"
 	"triplec/internal/metrics"
+	"triplec/internal/promote"
 	"triplec/internal/sched"
 	"triplec/internal/shadow"
 	"triplec/internal/span"
@@ -57,6 +58,12 @@ func runServe(args []string) error {
 		"prediction relative-error trigger threshold for the flight recorder (0 disables)")
 	shadowOn := fs.Bool("shadow", false,
 		"race alternative prediction backends against the deployed predictor per stream; scoreboard on /debug/predictorz and per-backend /metrics families (zero influence on scheduling)")
+	predictor := fs.String("predictor", "baseline",
+		"prediction backend policy: baseline (no promotion), auto (guarded promotion of whichever shadow backend beats the baseline), or a shadow backend name to canary directly; non-baseline implies -shadow")
+	canaryFrac := fs.Float64("canary-frac", 0.25,
+		"fraction of streams steered by the challenger during the canary stage")
+	guardMissRate := fs.Float64("guard-miss-rate", 0.25,
+		"rolling deadline-miss rate on steered streams beyond which the promotion rolls back")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,6 +78,14 @@ func runServe(args []string) error {
 	}
 	if *budgetMs < 0 {
 		return fmt.Errorf("serve: -budget-ms %v must be non-negative", *budgetMs)
+	}
+	if *predictor == core.BackendBaseline {
+		*predictor = "baseline"
+	}
+	if *predictor != "baseline" && !*shadowOn {
+		// Promotion scores challengers on the bake-off boards, so it
+		// needs them racing.
+		*shadowOn = true
 	}
 
 	study := experiments.DefaultStudy()
@@ -141,6 +156,19 @@ func runServe(args []string) error {
 		}
 	}
 
+	var ctl *promote.Controller
+	if *predictor != "baseline" {
+		pcfg := promote.Config{
+			Challenger:  *predictor, // "auto" means watch the whole roster
+			CanaryFrac:  *canaryFrac,
+			MaxMissRate: *guardMissRate,
+		}
+		var err error
+		if ctl, err = promote.NewController(pcfg); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+	}
+
 	var flight *span.FlightRecorder
 	if *traceDir != "" {
 		trig := span.DefaultTriggers()
@@ -171,9 +199,17 @@ func runServe(args []string) error {
 		Mapper:         mapper,
 		Metrics:        reg,
 		Flight:         flight,
+		Promote:        ctl,
 	}, cfgs)
 	if err != nil {
 		return err
+	}
+	if ctl != nil && reg != nil {
+		// After NewServer: EnableMetrics needs the attached roster to name
+		// the per-backend strike counters.
+		if err := ctl.EnableMetrics(reg); err != nil {
+			return err
+		}
 	}
 
 	// Bring the telemetry endpoints up before the run so a scraper sees the
@@ -284,6 +320,17 @@ func runServe(args []string) error {
 				fmt.Printf("%-10s %-16s %7d %8.1f%% %7.1f%% %+13.2f\n",
 					snap.Stream, bs.Name, bs.Total.Count, 100*bs.Accuracy(),
 					100*bs.ScenarioHitRate, bs.RegretMs)
+			}
+		}
+	}
+
+	if ctl != nil {
+		st := ctl.Status()
+		fmt.Printf("\npredictor promotion: state=%s challenger=%s canary_streams=%d transitions=%d\n",
+			st.State, st.Challenger, st.CanaryStreams, st.Transitions)
+		if st.Transitions > 0 {
+			if err := ctl.WriteLog(os.Stdout); err != nil {
+				return err
 			}
 		}
 	}

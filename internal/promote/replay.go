@@ -1,0 +1,312 @@
+package promote
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"triplec/internal/core"
+	"triplec/internal/experiments"
+	"triplec/internal/fault"
+	"triplec/internal/frame"
+	"triplec/internal/partition"
+	"triplec/internal/pipeline"
+	"triplec/internal/sched"
+	"triplec/internal/shadow"
+	"triplec/internal/tasks"
+)
+
+// Replay runs the full promotion state machine over a recorded synthetic
+// trace deterministically: every stream is served round-robin from a single
+// goroutine, the fault injector's spikes are overlaid onto the modeled
+// frame latency instead of sleeping on the wall clock, and the transition
+// log is written as transitions happen — so two runs with the same
+// ReplayConfig produce byte-identical logs. This is the `triplec promote`
+// subcommand's engine and the determinism/rollback-latency test bed.
+
+// ReplayConfig parameterizes a deterministic promotion replay.
+type ReplayConfig struct {
+	Streams int    // concurrent streams (default 2)
+	Frames  int    // frames per stream (default 240)
+	Seed    uint64 // synthetic-sequence base seed (default 11)
+	Train   int    // training sequences (default 2)
+	// BudgetMs fixes the per-frame latency budget; 0 initializes it from
+	// each stream's first processed frame (the paper's rule).
+	BudgetMs float64
+	// Miscalibrate appends the deliberately miscalibrated challenger
+	// (shadow.BackendMiscal) to every roster and names it the challenger —
+	// the forced-rollback drill.
+	Miscalibrate bool
+	// MiscalFactor scales the miscalibrated challenger's forecasts
+	// (default 0.25: plans sized for a quarter of the true demand).
+	MiscalFactor float64
+	// Promote tunes the controller. Challenger is overridden to
+	// shadow.BackendMiscal when Miscalibrate is set.
+	Promote Config
+	// Fault, when set, injects deterministic faults on every stream; spike
+	// durations are added to the modeled frame latency (no wall-clock
+	// sleeps), panics fail the frame like the serving layer does.
+	Fault *fault.Config
+}
+
+func (c ReplayConfig) withDefaults() ReplayConfig {
+	if c.Streams <= 0 {
+		c.Streams = 2
+	}
+	if c.Frames <= 0 {
+		c.Frames = 240
+	}
+	if c.Seed == 0 {
+		c.Seed = 11
+	}
+	if c.Train <= 0 {
+		c.Train = 2
+	}
+	if c.MiscalFactor <= 0 {
+		c.MiscalFactor = 0.25
+	}
+	return c
+}
+
+// ReplayResult summarizes a replay.
+type ReplayResult struct {
+	FinalState  State        `json:"-"`
+	FinalStateS string       `json:"final_state"`
+	Transitions []Transition `json:"transitions"`
+	Streams     int          `json:"streams"`
+	Frames      int          `json:"frames"`
+	Processed   int          `json:"processed"`
+	Failed      int          `json:"failed"`
+	Misses      int          `json:"misses"`
+	// RollbackFrame is the fleet scored-frame count at the first rollback
+	// (or quarantine), -1 when none happened.
+	RollbackFrame int `json:"rollback_frame"`
+	// RollbackLagFrames counts how many further per-stream serving steps
+	// ran before every manager reported the baseline demand source again
+	// (-1 when no rollback; 0 = instant, always ≤ one rebalance interval).
+	RollbackLagFrames int `json:"rollback_lag_frames"`
+	// PostRollbackMisses/Frames cover every frame served after the first
+	// rollback, fleet-wide.
+	PostRollbackMisses int `json:"post_rollback_misses"`
+	PostRollbackFrames int `json:"post_rollback_frames"`
+}
+
+// PostRollbackMissRate is the fleet deadline-miss rate after the first
+// rollback (0 when no frames followed it).
+func (r *ReplayResult) PostRollbackMissRate() float64 {
+	if r.PostRollbackFrames == 0 {
+		return 0
+	}
+	return float64(r.PostRollbackMisses) / float64(r.PostRollbackFrames)
+}
+
+// replayStream is one stream's serving state in the round-robin loop.
+type replayStream struct {
+	eng       *pipeline.Engine
+	mgr       *sched.Manager
+	board     *shadow.Board
+	src       func(int) *frame.Frame
+	obs       core.FrameObs
+	processed int
+}
+
+// Replay builds the fleet, runs the state machine over frames*streams
+// serving steps and returns the result plus the controller. Transition-log
+// lines stream to logW as they happen (pass io.Discard to skip).
+func Replay(cfg ReplayConfig, logW io.Writer) (*ReplayResult, *Controller, error) {
+	cfg = cfg.withDefaults()
+	if logW == nil {
+		logW = io.Discard
+	}
+
+	study := experiments.DefaultStudy()
+	study.TrainSeqs = cfg.Train
+	study.TrainFrames = 60
+	fp := study.FramePixels()
+
+	train, err := study.TrainingSets()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	pcfg := cfg.Promote
+	if cfg.Miscalibrate {
+		pcfg.Challenger = shadow.BackendMiscal
+	}
+	ctl, err := NewController(pcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Fault plan: spikes accumulate into a per-stream latency overlay
+	// instead of sleeping, so the replay is wall-clock free and the
+	// "latency" a spiked frame is judged on is the modeled time plus the
+	// injected spike — exactly what the guardrails must catch.
+	spikeOverlay := make([]float64, cfg.Streams)
+	var baseInj *fault.Injector
+	if cfg.Fault != nil {
+		baseInj, err = fault.New(*cfg.Fault)
+		if err != nil {
+			return nil, nil, err
+		}
+		spikeMs := cfg.Fault.SpikeMs
+		if spikeMs == 0 {
+			spikeMs = 25 // the injector's own default
+		}
+		baseInj.SetSleep(func(time.Duration) {})
+		baseInj.SetOnFault(func(si int, _ tasks.Name, _ int, kind fault.Kind) {
+			if kind == fault.KindSpike && si >= 0 && si < len(spikeOverlay) {
+				spikeOverlay[si] += spikeMs
+			}
+		})
+	}
+
+	streams := make([]*replayStream, cfg.Streams)
+	for i := range streams {
+		p, err := study.TrainPredictor()
+		if err != nil {
+			return nil, nil, err
+		}
+		mgr, err := sched.NewManager(p, study.Arch)
+		if err != nil {
+			return nil, nil, err
+		}
+		mgr.Sticky = true
+		mgr.BudgetMs = cfg.BudgetMs
+		eng, err := study.Engine()
+		if err != nil {
+			return nil, nil, err
+		}
+		seq, err := study.Sequence(cfg.Seed + uint64(i)*1013)
+		if err != nil {
+			return nil, nil, err
+		}
+		src := experiments.Source(seq)
+		if baseInj != nil {
+			inj := baseInj.ForStream(i)
+			eng.SetTaskHook(inj.BeforeTask)
+			src = inj.WrapSource(src)
+		}
+		backends, err := shadow.TrainBackends(p, train, core.TrainConfig{})
+		if err != nil {
+			return nil, nil, err
+		}
+		if cfg.Miscalibrate {
+			inner, err := shadow.TrainBackends(p, train, core.TrainConfig{})
+			if err != nil {
+				return nil, nil, err
+			}
+			backends = append(backends, shadow.NewMiscalibrated(inner[0], cfg.MiscalFactor))
+		}
+		board, err := shadow.NewBoard(fmt.Sprintf("stream%d", i), backends)
+		if err != nil {
+			return nil, nil, err
+		}
+		streams[i] = &replayStream{eng: eng, mgr: mgr, board: board, src: src}
+		if err := ctl.AttachStream(board.Stream(), board, mgr); err != nil {
+			return nil, nil, err
+		}
+	}
+	var logErr error
+	ctl.SetOnTransition(func(t Transition) {
+		if _, err := fmt.Fprintln(logW, t.String()); err != nil && logErr == nil {
+			logErr = err
+		}
+	})
+
+	res := &ReplayResult{
+		Streams:           cfg.Streams,
+		Frames:            cfg.Frames,
+		RollbackFrame:     -1,
+		RollbackLagFrames: -1,
+	}
+	seenTransitions := 0
+	rolledBack := false
+	pendingLag := false
+	lagSteps := 0
+
+	for fi := 0; fi < cfg.Frames; fi++ {
+		for si, st := range streams {
+			var dec sched.Decision
+			if st.processed == 0 {
+				dec = sched.Decision{Mapping: partition.Serial()}
+			} else {
+				dec = st.mgr.Plan()
+			}
+			spikeOverlay[si] = 0
+			f := st.src(fi)
+			if f == nil {
+				return nil, nil, fmt.Errorf("promote: stream %d frame %d: nil source frame", si, fi)
+			}
+			rep, perr := st.eng.Process(f, dec.Mapping)
+			if perr != nil {
+				var te *pipeline.TaskError
+				if errors.As(perr, &te) {
+					res.Failed++
+					if rolledBack {
+						res.PostRollbackFrames++
+					}
+					continue
+				}
+				return nil, nil, fmt.Errorf("promote: stream %d frame %d: %w", si, fi, perr)
+			}
+			if st.processed == 0 && st.mgr.BudgetMs <= 0 {
+				st.mgr.InitBudget(rep.LatencyMs)
+			}
+			st.processed++
+			res.Processed++
+			st.mgr.Observe(core.FromReports([]pipeline.Report{rep}, fp)[0])
+			core.DenseFromReport(&rep, fp, &st.obs)
+			st.board.ObserveFrame(&st.obs) // drives the controller via the board observer
+			lat := rep.LatencyMs + spikeOverlay[si]
+			missed := st.mgr.BudgetMs > 0 && lat > st.mgr.BudgetMs
+			if missed {
+				res.Misses++
+			}
+			ctl.ObserveServed(si, missed)
+			if rolledBack {
+				res.PostRollbackFrames++
+				if missed {
+					res.PostRollbackMisses++
+				}
+			}
+
+			// Rollback-latency accounting: after the first rollback, count
+			// serving steps until every manager plans from the baseline again.
+			if ts := ctl.Transitions(); len(ts) > seenTransitions {
+				for _, t := range ts[seenTransitions:] {
+					if !rolledBack && (t.To == StateRolledBack || t.To == StateQuarantined) {
+						rolledBack = true
+						pendingLag = true
+						lagSteps = 0
+						res.RollbackFrame = int(t.Frame)
+					}
+				}
+				seenTransitions = len(ts)
+			}
+			if pendingLag {
+				allBaseline := true
+				for _, other := range streams {
+					if other.mgr.DemandSourceName() != core.BackendBaseline {
+						allBaseline = false
+						break
+					}
+				}
+				if allBaseline {
+					res.RollbackLagFrames = lagSteps
+					pendingLag = false
+				} else {
+					lagSteps++
+				}
+			}
+		}
+	}
+	if logErr != nil {
+		return nil, nil, logErr
+	}
+	res.FinalState = ctl.State()
+	res.FinalStateS = res.FinalState.String()
+	res.Transitions = ctl.Transitions()
+	return res, ctl, nil
+}

@@ -25,12 +25,25 @@ import (
 // online, so a stream stuck in a cheap degenerate mode (say, registration
 // failing every frame) reports its true few-ms demand even though the
 // offline-trained table still predicts a switch back to the full pipeline.
-// Before any observation it falls back to the worst-case forecast.
+// Before any observation it falls back to the worst-case forecast. A
+// steering source (promoted shadow backend, see steer.go) replaces the
+// predictor here too, and an installed tail guard raises the reported
+// demand to its total forecast whenever that is larger — so the skip/serial
+// controller and the core arbiter provision for the predicted P90 tail
+// instead of the mean.
 func (m *Manager) PredictedDemandMs() float64 {
-	if last, ok := m.predictor.LastScenario(); ok {
-		return m.predictor.PredictForTasks(last.ActiveTasks(), m.predictor.NextContext())
+	var d float64
+	if src := m.demandSource(); src != nil && src.DemandInto(&m.demandPred) {
+		d = m.demandPred.TotalMs
+	} else if last, ok := m.predictor.LastScenario(); ok {
+		d = m.predictor.PredictForTasks(last.ActiveTasks(), m.predictor.NextContext())
+	} else {
+		d = m.predictor.PredictNext().TotalMs
 	}
-	return m.predictor.PredictNext().TotalMs
+	if tg := m.tailSource(); tg != nil && tg.DemandInto(&m.demandPred) && m.demandPred.TotalMs > d {
+		d = m.demandPred.TotalMs
+	}
+	return d
 }
 
 // SplitCores divides total cores across applications proportionally to

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"triplec/internal/core"
 	"triplec/internal/flowgraph"
@@ -59,6 +60,14 @@ type Manager struct {
 	switchMs    float64 // per-stripe fork/join overhead in ms
 	lastMapping partition.Mapping
 	coreBudget  int // cores this application may use; 0 = whole machine
+
+	// Live-swappable forecast sources (see steer.go): steerSrc replaces the
+	// predictor in Plan, tailSrc widens PredictedDemandMs with a tail
+	// forecast. The scratch predictions keep the steered paths alloc-free.
+	steerSrc   atomic.Pointer[steerBox]
+	tailSrc    atomic.Pointer[steerBox]
+	steerPred  core.FramePrediction
+	demandPred core.FramePrediction
 }
 
 // NewManager builds a manager around a trained predictor for the given
@@ -129,14 +138,19 @@ func (m *Manager) Plan() Decision {
 }
 
 func (m *Manager) plan() Decision {
+	// A promoted shadow backend steers the plan when installed and able to
+	// forecast; otherwise (including immediately after a rollback or before
+	// the source's first successful drive) fall through to the predictor.
+	if src := m.demandSource(); src != nil && src.DemandInto(&m.steerPred) {
+		return m.planSteered(&m.steerPred)
+	}
 	pred := m.predictor.PredictNext()
 	serial := pred.TotalMs
-	dec := Decision{Mapping: partition.Serial(), PredictedMs: serial, SerialMs: serial}
 	if m.BudgetMs <= 0 {
+		dec := Decision{Mapping: partition.Serial(), PredictedMs: serial, SerialMs: serial}
 		m.rememberMapping(dec.Mapping)
 		return dec
 	}
-	budget := m.BudgetMs * m.Headroom
 
 	// Pessimistic per-task demand over the plausible successor scenarios.
 	// Every candidate is constrained to the physically determined
@@ -159,6 +173,15 @@ func (m *Manager) plan() Decision {
 			}
 		}
 	}
+	return m.planWithDemand(demand, serial)
+}
+
+// planWithDemand chooses a mapping for the given per-task demand under the
+// current budget: sticky hysteresis first, then greedy stripe doubling.
+// Shared by the predictor-driven and steered planning paths.
+func (m *Manager) planWithDemand(demand map[tasks.Name]float64, serial float64) Decision {
+	dec := Decision{Mapping: partition.Serial(), PredictedMs: serial, SerialMs: serial}
+	budget := m.BudgetMs * m.Headroom
 
 	// Hysteresis: when the previous mapping still meets the budget for the
 	// current demand, keep it verbatim.

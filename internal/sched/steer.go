@@ -1,0 +1,95 @@
+package sched
+
+import (
+	"triplec/internal/core"
+	"triplec/internal/partition"
+	"triplec/internal/tasks"
+)
+
+// This file is the live-swappable demand seam the promotion controller
+// (internal/promote) steers: a promoted shadow backend's dense forecast
+// replaces the manager's own predictor in Plan, and a quantile backend's
+// P90 forecast can ride along as a tail guard that widens the deadline-miss
+// headroom in PredictedDemandMs. Both sources are installed and removed
+// with a single atomic pointer swap from the controller's goroutine while
+// the manager keeps planning on its own — rollback is one Store away and
+// takes effect at the very next Plan. The manager's predictor continues to
+// observe every frame regardless of steering, so the baseline is warm the
+// instant a rollback lands.
+
+// steerBox wraps the interface so it can live in an atomic.Pointer.
+type steerBox struct{ src core.DemandSource }
+
+// allTaskNames caches the allocating tasks.AllNames() for the per-frame
+// steered planning path.
+var allTaskNames = tasks.AllNames()
+
+// SetDemandSource steers the manager's planning by the given forecast
+// source; nil restores the built-in predictor. Safe to call concurrently
+// with Plan.
+func (m *Manager) SetDemandSource(src core.DemandSource) {
+	if src == nil {
+		m.steerSrc.Store(nil)
+		return
+	}
+	m.steerSrc.Store(&steerBox{src: src})
+}
+
+// SetTailGuard installs a forecast source whose total-ms forecast widens
+// PredictedDemandMs whenever it exceeds the mean forecast — feed it the
+// quantile-P90 backend so the skip/serial controller and the arbiter react
+// to predicted tails instead of realized misses. Nil removes the guard.
+func (m *Manager) SetTailGuard(src core.DemandSource) {
+	if src == nil {
+		m.tailSrc.Store(nil)
+		return
+	}
+	m.tailSrc.Store(&steerBox{src: src})
+}
+
+func (m *Manager) demandSource() core.DemandSource {
+	if box := m.steerSrc.Load(); box != nil {
+		return box.src
+	}
+	return nil
+}
+
+func (m *Manager) tailSource() core.DemandSource {
+	if box := m.tailSrc.Load(); box != nil {
+		return box.src
+	}
+	return nil
+}
+
+// DemandSourceName reports which forecast currently drives planning: the
+// steering source's name, or core.BackendBaseline when unsteered. This is
+// the signal rollback-latency checks watch.
+func (m *Manager) DemandSourceName() string {
+	if src := m.demandSource(); src != nil {
+		return src.SourceName()
+	}
+	return core.BackendBaseline
+}
+
+// planSteered plans from an external dense forecast instead of the
+// manager's own predictor: the per-task demand is the forecast's masked
+// task vector and the serial estimate its total. The budget check, sticky
+// hysteresis and greedy striping are shared with the unsteered path.
+func (m *Manager) planSteered(p *core.FramePrediction) Decision {
+	serial := p.TotalMs
+	if m.BudgetMs <= 0 {
+		dec := Decision{Mapping: partition.Serial(), PredictedMs: serial, SerialMs: serial}
+		m.rememberMapping(dec.Mapping)
+		return dec
+	}
+	demand := make(map[tasks.Name]float64, tasks.NumNames)
+	for ti := 0; ti < tasks.NumNames; ti++ {
+		if p.Mask&(uint16(1)<<uint(ti)) == 0 {
+			continue
+		}
+		if ms := p.TaskMs[ti]; ms > 0 {
+			demand[allTaskNames[ti]] = ms
+		}
+	}
+	return m.planWithDemand(demand, serial)
+}

@@ -48,10 +48,25 @@ func (c *cell) add(rel, absMs float64) {
 // totalCol is the cells column index carrying the whole-frame total.
 const totalCol = tasks.NumNames
 
+// MaxBackends bounds the roster a FrameScore can carry. Boards accept more
+// backends, but only the first MaxBackends get per-frame scores reported to
+// the observer (the promotion controller); the roster is four today.
+const MaxBackends = 8
+
+// regretWindow is the length of the per-backend rolling regret window the
+// promotion controller watches: a challenger must beat the deployed
+// baseline over this many recent frames, not merely cumulatively.
+const regretWindow = 64
+
+// panicStrikes is how many recovered Observe/Predict panics quarantine a
+// backend from the roster for the rest of the run.
+const panicStrikes = 3
+
 // backendInstruments is the optional per-backend Prometheus family set.
 type backendInstruments struct {
 	hits, misses *metrics.Counter
 	degenerate   *metrics.Counter
+	panics       *metrics.Counter
 	totalRelErr  *metrics.Histogram
 	absErrMs     *metrics.Histogram
 	regretMs     *metrics.Gauge
@@ -62,11 +77,25 @@ type backendState struct {
 	backend core.Backend
 	name    string
 	pred    core.FramePrediction
+	// predValid marks the standing forecast usable: false until the first
+	// successful drive after construction/reset, and false again after a
+	// recovered panic left it stale.
+	predValid bool
 
 	cells        [8][tasks.NumNames + 1]cell // indexed by ACTUAL scenario
 	hits, misses uint64
 	degenerate   uint64
 	regretMs     float64 // cumulative |total err| − |baseline total err|
+
+	// Rolling regret over the last regretWindow scored frames (ring with a
+	// running sum, so reads are O(1) on the frame path).
+	regretWin    [regretWindow]float64
+	regretIdx    int
+	regretN      int
+	regretWinSum float64
+
+	panics      uint64 // recovered Observe/Predict panics
+	quarantined bool   // dropped from the roster after panicStrikes
 
 	inst *backendInstruments
 }
@@ -89,6 +118,44 @@ type Board struct {
 	havePred   bool
 
 	frames *metrics.Counter // optional triplec_shadow_frames_total
+
+	observer func(*FrameScore) // optional per-scored-frame hook
+	scoreBuf FrameScore        // reused scratch handed to the observer
+}
+
+// BackendFrameScore is one backend's verdict for a single scored frame,
+// reported through the board observer. Skipped entries (panicked or
+// quarantined backends) carry no error numbers.
+type BackendFrameScore struct {
+	AbsErrMs     float64 // |predicted total − actual total|
+	SignedRel    float64 // signed relative total error (valid iff RelOK)
+	RelOK        bool    // the relative error was well-defined
+	Within25     bool    // RelOK and |SignedRel| ≤ 0.25
+	ScenarioHit  bool    // predicted the frame's scenario
+	RegretMs     float64 // this frame's |err| − |baseline err| (0 if undefined)
+	RollRegretMs float64 // rolling regret sum over the last RollN frames
+	RollN        int     // samples in the rolling regret window (≤ 64)
+	Panicked     bool    // forecast invalid: the backend panicked while driving
+	Quarantined  bool    // backend removed from the roster
+	Skipped      bool    // no scoring happened for this backend this frame
+}
+
+// FrameScore is the per-frame scoring summary handed to the board
+// observer, in backend registration order (slot 0 = deployed baseline).
+type FrameScore struct {
+	Frame  uint64 // 1-based scored-frame ordinal on this board
+	N      int    // populated entries in Scores
+	Scores [MaxBackends]BackendFrameScore
+}
+
+// SetObserver installs a hook invoked after every scored frame with that
+// frame's per-backend verdicts. The hook runs under the board lock with a
+// reused buffer: it must not call back into the board and must not retain
+// the *FrameScore past its return. Pass nil to remove.
+func (b *Board) SetObserver(fn func(*FrameScore)) {
+	b.mu.Lock()
+	b.observer = fn
+	b.mu.Unlock()
 }
 
 // NewBoard builds a scoreboard over the given backends. Index 0 is the
@@ -155,6 +222,10 @@ func (b *Board) EnableMetrics(r *metrics.Registry) error {
 			"Shadow prediction samples dropped as degenerate (actual ≈ 0 or non-finite).", bl, sl); err != nil {
 			return err
 		}
+		if inst.panics, err = r.NewCounter("triplec_shadow_backend_panics_total",
+			"Recovered panics while driving this shadow backend; 3 strikes quarantine it from the roster.", bl, sl); err != nil {
+			return err
+		}
 		if inst.totalRelErr, err = r.NewHistogram("triplec_shadow_total_rel_error",
 			"Signed relative error of the backend's total-ms forecast.",
 			metrics.DefaultSignedErrorBuckets(), bl, sl); err != nil {
@@ -187,19 +258,83 @@ func (b *Board) ObserveFrame(obs *core.FrameObs) {
 		}
 	}
 	for _, st := range b.backends {
-		st.backend.Observe(obs)
-		st.backend.Predict(&st.pred)
+		if st.quarantined {
+			continue
+		}
+		if drive(st, obs) {
+			st.predValid = true
+			continue
+		}
+		// The backend panicked mid-drive: its standing forecast is stale or
+		// half-written, so the next scored frame counts as a scenario miss
+		// for this backend only and its error cells are skipped.
+		st.predValid = false
+		st.panics++
+		if st.inst != nil {
+			st.inst.panics.Inc()
+		}
+		if st.panics >= panicStrikes {
+			st.quarantined = true
+		}
 	}
 	b.havePred = true
 	b.observed++
 }
 
+// drive runs one backend's observe/re-predict step, converting a panic in
+// either into a false return so one broken backend cannot take down the
+// serving loop or the rest of the roster.
+func drive(st *backendState, obs *core.FrameObs) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	st.backend.Observe(obs)
+	st.backend.Predict(&st.pred)
+	return true
+}
+
 func (b *Board) score(obs *core.FrameObs) {
 	si := obs.Scenario.Index()
-	baseAbs := math.Abs(b.backends[0].pred.TotalMs - obs.TotalMs)
-	for _, st := range b.backends {
+	fs := &b.scoreBuf
+	*fs = FrameScore{}
+	fs.N = len(b.backends)
+	if fs.N > MaxBackends {
+		fs.N = MaxBackends
+	}
+	baseAbs := math.NaN()
+	if st0 := b.backends[0]; !st0.quarantined && st0.predValid {
+		baseAbs = math.Abs(st0.pred.TotalMs - obs.TotalMs)
+	}
+	for bi, st := range b.backends {
+		var sc *BackendFrameScore
+		if bi < MaxBackends {
+			sc = &fs.Scores[bi]
+		}
+		if st.quarantined {
+			if sc != nil {
+				sc.Quarantined = true
+				sc.Skipped = true
+			}
+			continue
+		}
+		if !st.predValid {
+			// A panic left this backend without a forecast: the frame scores
+			// as a scenario miss for it and nothing else.
+			st.misses++
+			if st.inst != nil {
+				st.inst.misses.Inc()
+			}
+			if sc != nil {
+				sc.Panicked = true
+				sc.Skipped = true
+			}
+			continue
+		}
 		p := &st.pred
-		if p.Scenario == obs.Scenario {
+		hit := p.Scenario == obs.Scenario
+		if hit {
 			st.hits++
 			if st.inst != nil {
 				st.inst.hits.Inc()
@@ -211,7 +346,8 @@ func (b *Board) score(obs *core.FrameObs) {
 			}
 		}
 		absMs := math.Abs(p.TotalMs - obs.TotalMs)
-		if rel, ok := metrics.SignedRelErr(p.TotalMs, obs.TotalMs); ok {
+		rel, relOK := metrics.SignedRelErr(p.TotalMs, obs.TotalMs)
+		if relOK {
 			st.cells[si][totalCol].add(rel, absMs)
 			if st.inst != nil {
 				st.inst.totalRelErr.Observe(rel)
@@ -228,8 +364,8 @@ func (b *Board) score(obs *core.FrameObs) {
 			if obs.Mask&bit == 0 || p.Mask&bit == 0 {
 				continue
 			}
-			if rel, ok := metrics.SignedRelErr(p.TaskMs[ti], obs.TaskMs[ti]); ok {
-				st.cells[si][ti].add(rel, math.Abs(p.TaskMs[ti]-obs.TaskMs[ti]))
+			if trel, ok := metrics.SignedRelErr(p.TaskMs[ti], obs.TaskMs[ti]); ok {
+				st.cells[si][ti].add(trel, math.Abs(p.TaskMs[ti]-obs.TaskMs[ti]))
 			} else {
 				st.degenerate++
 				if st.inst != nil {
@@ -237,17 +373,42 @@ func (b *Board) score(obs *core.FrameObs) {
 				}
 			}
 		}
+		regret := math.NaN()
 		if !math.IsNaN(absMs) && !math.IsInf(absMs, 0) &&
 			!math.IsNaN(baseAbs) && !math.IsInf(baseAbs, 0) {
-			st.regretMs += absMs - baseAbs
+			regret = absMs - baseAbs
+			st.regretMs += regret
 			if st.inst != nil {
 				st.inst.regretMs.Set(st.regretMs)
 			}
+			st.regretWinSum -= st.regretWin[st.regretIdx]
+			st.regretWin[st.regretIdx] = regret
+			st.regretWinSum += regret
+			st.regretIdx = (st.regretIdx + 1) % regretWindow
+			if st.regretN < regretWindow {
+				st.regretN++
+			}
+		}
+		if sc != nil {
+			sc.AbsErrMs = absMs
+			sc.SignedRel = rel
+			sc.RelOK = relOK
+			sc.Within25 = relOK && math.Abs(rel) <= accurateRelErr
+			sc.ScenarioHit = hit
+			if !math.IsNaN(regret) {
+				sc.RegretMs = regret
+			}
+			sc.RollRegretMs = st.regretWinSum
+			sc.RollN = st.regretN
 		}
 	}
 	b.scored++
+	fs.Frame = b.scored
 	if b.frames != nil {
 		b.frames.Inc()
+	}
+	if b.observer != nil {
+		b.observer(fs)
 	}
 }
 
@@ -258,11 +419,32 @@ func (b *Board) ResetSequence() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for _, st := range b.backends {
-		st.backend.Reset()
-		st.pred = core.FramePrediction{}
+		if st.quarantined {
+			continue
+		}
+		resetBackend(st)
 	}
 	b.havePred = false
 	b.warmupLeft = b.warmup
+}
+
+// resetBackend clears one backend's per-sequence state, recovering (and
+// striking) a panic in Reset the same way drive does for Observe/Predict.
+func resetBackend(st *backendState) {
+	defer func() {
+		if recover() != nil {
+			st.panics++
+			if st.inst != nil {
+				st.inst.panics.Inc()
+			}
+			if st.panics >= panicStrikes {
+				st.quarantined = true
+			}
+		}
+	}()
+	st.pred = core.FramePrediction{}
+	st.predValid = false
+	st.backend.Reset()
 }
 
 // CellStats summarizes one error distribution for snapshots and reports.
@@ -326,6 +508,10 @@ type BackendSnapshot struct {
 	ScenarioHitRate float64         `json:"scenarioHitRate"`
 	Degenerate      uint64          `json:"degenerateSamples"`
 	RegretMs        float64         `json:"regretMs"`
+	RollingRegretMs float64         `json:"rollingRegretMs"`
+	RollingRegretN  int             `json:"rollingRegretN"`
+	Panics          uint64          `json:"panics,omitempty"`
+	Quarantined     bool            `json:"quarantined,omitempty"`
 	Total           CellStats       `json:"total"`
 	Scenarios       []ScenarioStats `json:"scenarios,omitempty"`
 	Tasks           []TaskStats     `json:"tasks,omitempty"`
@@ -367,11 +553,15 @@ func (b *Board) Snapshot() BoardSnapshot {
 	taskNames := tasks.AllNames()
 	for _, st := range b.backends {
 		bs := BackendSnapshot{
-			Name:           st.name,
-			ScenarioHits:   st.hits,
-			ScenarioMisses: st.misses,
-			Degenerate:     st.degenerate,
-			RegretMs:       st.regretMs,
+			Name:            st.name,
+			ScenarioHits:    st.hits,
+			ScenarioMisses:  st.misses,
+			Degenerate:      st.degenerate,
+			RegretMs:        st.regretMs,
+			RollingRegretMs: st.regretWinSum,
+			RollingRegretN:  st.regretN,
+			Panics:          st.panics,
+			Quarantined:     st.quarantined,
 		}
 		if total := st.hits + st.misses; total > 0 {
 			bs.ScenarioHitRate = float64(st.hits) / float64(total)

@@ -58,6 +58,7 @@ func WriteDump(w io.Writer, meta Meta, events []Event, hdr dumpHeader) error {
 			"detail":    hdr.Detail,
 			"coalesced": hdr.Coalesced,
 			"predictor": meta.Predictor,
+			"promotion": meta.Promotion,
 		},
 		TraceEvents: make([]traceEvent, 0, len(events)+len(meta.Streams)+1),
 	}
@@ -141,6 +142,13 @@ func WriteDump(w io.Writer, meta Meta, events []Event, hdr dumpHeader) error {
 			te.Name = "trigger:" + ReasonName(TriggerReason(ev.Outcome))
 			args["reason"] = ReasonName(TriggerReason(ev.Outcome))
 			args["detail"] = ev.Arg0
+		case KindPromote:
+			te.Ph, te.Cat, te.Scope = "i", "promote", "g"
+			te.Name = "promote:" + PromoteStateName(ev.Outcome)
+			args["from"] = PromoteStateName(int32(ev.Arg0))
+			args["to"] = PromoteStateName(ev.Outcome)
+			args["backend_slot"] = int(ev.Arg1)
+			delete(args, "frame")
 		default: // skip, abandon, stall, restart, quarantine
 			te.Ph, te.Cat, te.Scope = "i", "lifecycle", "p"
 			te.Name = KindName(ev.Kind)
@@ -203,6 +211,9 @@ type Dump struct {
 	// Predictor is the deployed prediction backend active when the dump
 	// triggered (empty in dumps written before the field existed).
 	Predictor string
+	// Promotion is the promotion controller's position at dump time, e.g.
+	// "canary:quantile-p90" (empty with no controller or in older dumps).
+	Promotion string
 	Processes map[int]string
 	Frames    []DumpFrame
 	Instants  []DumpInstant
@@ -249,6 +260,7 @@ func ReadDump(r io.Reader) (*Dump, error) {
 		Detail:    argFloat(tf.OtherData, "detail"),
 		Coalesced: argInt(tf.OtherData, "coalesced"),
 		Predictor: argString(tf.OtherData, "predictor"),
+		Promotion: argString(tf.OtherData, "promotion"),
 		Processes: map[int]string{},
 	}
 

@@ -73,6 +73,10 @@ const (
 	// KindTrigger records a flight-recorder trigger firing. Outcome = the
 	// TriggerReason, Arg0 = the reason-specific detail.
 	KindTrigger
+	// KindPromote is a predictor-promotion state-machine transition
+	// (internal/promote). Arg0 = previous state, Outcome = new state (see
+	// PromoteStateName), Arg1 = the challenger's shadow-roster slot.
+	KindPromote
 )
 
 // KindName returns a stable lowercase label for the kind.
@@ -106,6 +110,36 @@ func KindName(k Kind) string {
 		return "quarantine"
 	case KindTrigger:
 		return "trigger"
+	case KindPromote:
+		return "promote"
+	}
+	return "unknown"
+}
+
+// Predictor-promotion states (Event.Outcome / Arg0 on KindPromote). The
+// promotion controller's State mirrors these values so span events, dump
+// metadata and /healthz all speak the same enum.
+const (
+	PromoteShadow = iota
+	PromoteCanary
+	PromotePromoted
+	PromoteRolledBack
+	PromoteQuarantined
+)
+
+// PromoteStateName renders a promotion state.
+func PromoteStateName(s int32) string {
+	switch s {
+	case PromoteShadow:
+		return "shadow"
+	case PromoteCanary:
+		return "canary"
+	case PromotePromoted:
+		return "promoted"
+	case PromoteRolledBack:
+		return "rolled-back"
+	case PromoteQuarantined:
+		return "quarantined"
 	}
 	return "unknown"
 }
@@ -187,6 +221,10 @@ type Meta struct {
 	// dump metadata so a recorded incident can be tied back to the
 	// predictor that was steering the scheduler when it happened.
 	Predictor string
+	// Promotion is the promotion controller's current position, e.g.
+	// "shadow" or "canary:quantile-p90" — empty when no controller runs.
+	// Updated in place on every transition via SetPromotion.
+	Promotion string
 }
 
 func label(table []string, i int, prefix string) string {
@@ -309,6 +347,18 @@ func (r *Recorder) SetMeta(m Meta) {
 	}
 	r.metaMu.Lock()
 	r.meta = m
+	r.metaMu.Unlock()
+}
+
+// SetPromotion updates only the promotion label of the current meta —
+// the promotion controller calls it on every state transition so dumps
+// written later carry the position at dump time. Nil-safe.
+func (r *Recorder) SetPromotion(label string) {
+	if r == nil {
+		return
+	}
+	r.metaMu.Lock()
+	r.meta.Promotion = label
 	r.metaMu.Unlock()
 }
 

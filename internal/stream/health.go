@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"triplec/internal/core"
+	"triplec/internal/promote"
 )
 
 // Health is one stream's live serving summary, assembled from the stream's
@@ -33,10 +34,18 @@ type Health struct {
 	QualityLevel    int    `json:"quality_level"`
 
 	// Predictor identifies the deployed prediction backend steering this
-	// stream's scheduling decisions.
+	// stream's scheduling decisions. Without a promotion controller it is
+	// always the baseline; with one it flips to the challenger on the
+	// streams a canary or fleet promotion is steering, and back on rollback.
 	Predictor string `json:"predictor"`
 
-	MissRate        float64 `json:"miss_rate"`
+	MissRate float64 `json:"miss_rate"`
+	// RollingMissRate is the miss fraction over the last RollingMissSamples
+	// (≤ 64) processed frames — the promotion guardrails watch this shape
+	// of signal, and a shift shows here while the lifetime MissRate still
+	// averages it away.
+	RollingMissRate    float64 `json:"rolling_miss_rate"`
+	RollingMissSamples int     `json:"rolling_miss_samples"`
 	ScenarioHitRate float64 `json:"scenario_hit_rate"`
 	// RollingScenarioHitRate is the hit fraction over the last
 	// RollingScenarioSamples (≤ 64) forecasts — a drift probe that reacts
@@ -54,6 +63,10 @@ type Health struct {
 type healthReport struct {
 	Status  string   `json:"status"` // "ok" or "degraded"
 	Streams []Health `json:"streams"`
+	// Promotion is the guarded-promotion controller's live status (state,
+	// challenger, canary width, guard windows); omitted when the server was
+	// built without ServerConfig.Promote.
+	Promotion *promote.Status `json:"promotion,omitempty"`
 }
 
 func stateString(s int32) string {
@@ -88,6 +101,10 @@ func (s *Server) Healths() []Health {
 	for i, t := range s.tels {
 		a := t.acct
 		lat := a.FrameLatencyMs.Snapshot()
+		pred := core.BackendBaseline
+		if s.cfg.Promote != nil {
+			pred = s.cfg.Promote.StreamPredictor(i)
+		}
 		h := Health{
 			Stream:          streamLabel(s.streams[i], i),
 			State:           stateString(t.state.Load()),
@@ -103,7 +120,7 @@ func (s *Server) Healths() []Health {
 			TaskPanics:      t.taskPanics.Value(),
 			LastFrame:       int(finiteOr0(a.LastFrame.Value())),
 			QualityLevel:    int(finiteOr0(t.qualityLevel.Value())),
-			Predictor:       core.BackendBaseline,
+			Predictor:       pred,
 			MissRate:        finiteOr0(a.MissRate()),
 			ScenarioHitRate: finiteOr0(a.ScenarioHitRate()),
 			BudgetMs:        finiteOr0(a.BudgetMs.Value()),
@@ -114,6 +131,8 @@ func (s *Server) Healths() []Health {
 		}
 		h.RollingScenarioHitRate, h.RollingScenarioSamples = t.rollingScenarioHitRate()
 		h.RollingScenarioHitRate = finiteOr0(h.RollingScenarioHitRate)
+		h.RollingMissRate, h.RollingMissSamples = t.rollingMissRate()
+		h.RollingMissRate = finiteOr0(h.RollingMissRate)
 		if msg, ok := t.errMsg.Load().(string); ok {
 			h.Error = msg
 		}
@@ -135,6 +154,10 @@ func (s *Server) HealthHandler() http.Handler {
 			return
 		}
 		rep := healthReport{Status: "ok", Streams: streams}
+		if s.cfg.Promote != nil {
+			st := s.cfg.Promote.Status()
+			rep.Promotion = &st
+		}
 		code := http.StatusOK
 		for _, h := range streams {
 			if h.State == "failed" || h.State == "quarantined" {

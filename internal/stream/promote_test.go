@@ -1,0 +1,189 @@
+package stream
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"triplec/internal/core"
+	"triplec/internal/metrics"
+	"triplec/internal/promote"
+	"triplec/internal/shadow"
+)
+
+// TestRollingMissDivergence: a late burst of deadline misses moves the
+// 64-frame rolling window immediately while the lifetime rate still
+// averages it away — the signal the promotion guardrails (and /healthz
+// readers) depend on.
+func TestRollingMissDivergence(t *testing.T) {
+	reg := metrics.NewRegistry()
+	acct, err := metrics.NewAccountant(reg, metrics.AccountantConfig{Stream: "unit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := &telemetry{acct: acct}
+
+	// 100 clean frames, then a 32-frame miss burst.
+	for i := 0; i < 100; i++ {
+		tel.processed(10, false, false)
+	}
+	for i := 0; i < 32; i++ {
+		tel.processed(40, true, false)
+	}
+
+	rolling, samples := tel.rollingMissRate()
+	if samples != missWindow {
+		t.Fatalf("rolling window holds %d samples, want %d", samples, missWindow)
+	}
+	if rolling != 0.5 {
+		t.Fatalf("rolling miss rate %v, want 0.5 (32 misses in the last 64 frames)", rolling)
+	}
+	lifetime := float64(acct.DeadlineMisses.Value()) / float64(acct.Processed.Value())
+	if lifetime >= 0.3 {
+		t.Fatalf("lifetime miss rate %v, want the burst diluted below 0.3", lifetime)
+	}
+	if rolling <= 2*lifetime {
+		t.Fatalf("rolling (%v) does not diverge from lifetime (%v) under a late burst", rolling, lifetime)
+	}
+}
+
+// TestRollingMissWindowPartial: before 64 frames the window reports exactly
+// the frames seen so far, masked to avoid phantom samples.
+func TestRollingMissWindowPartial(t *testing.T) {
+	reg := metrics.NewRegistry()
+	acct, err := metrics.NewAccountant(reg, metrics.AccountantConfig{Stream: "unit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := &telemetry{acct: acct}
+	tel.processed(10, true, false)
+	tel.processed(10, false, false)
+	tel.processed(10, true, false)
+	rolling, samples := tel.rollingMissRate()
+	if samples != 3 || rolling != 2.0/3.0 {
+		t.Fatalf("partial window = %v over %d samples, want 2/3 over 3", rolling, samples)
+	}
+}
+
+// TestServeWithPromotion runs the serving loop with the promotion
+// controller attached to every stream: /healthz must carry the fleet
+// promotion status and the per-stream predictor identity must follow the
+// canary assignment, and end-of-run Stats must surface the rolling miss
+// window.
+func TestServeWithPromotion(t *testing.T) {
+	s := testStudy()
+	p, err := s.TrainPredictor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []Config{
+		mkStream(t, s, "p0", 3, 0),
+		mkStream(t, s, "p1", 4, 0),
+	}
+	for i := range cfgs {
+		cfgs[i].Shadow = mkShadowBoard(t, s, p, cfgs[i].Name)
+	}
+	// A named challenger canaries immediately; an enormous canary window
+	// keeps the run inside the canary stage so the steering is observable.
+	ctl, err := promote.NewController(promote.Config{
+		Challenger:   shadow.BackendOrder2,
+		CanaryFrac:   0.5,
+		CanaryFrames: 1 << 20,
+		MinSamples:   1 << 20, // guards never fire in this short run
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	srv, err := NewServer(ServerConfig{Metrics: reg, Promote: ctl}, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.EnableMetrics(reg); err != nil {
+		t.Fatal(err)
+	}
+	res, err := srv.Run(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if st := ctl.State(); st != promote.StateCanary {
+		t.Fatalf("controller state %s after the run, want canary", st)
+	}
+	canaried := 0
+	for i := range cfgs {
+		switch got := ctl.StreamPredictor(i); got {
+		case shadow.BackendOrder2:
+			canaried++
+		case core.BackendBaseline:
+		default:
+			t.Fatalf("stream %d predictor %q, want challenger or baseline", i, got)
+		}
+	}
+	if canaried != 1 {
+		t.Fatalf("%d of 2 streams canaried, want exactly 1 at canary-frac 0.5", canaried)
+	}
+
+	// End-of-run stats surface the rolling miss window.
+	for i, sr := range res.Streams {
+		want := sr.Stats.Processed
+		if want > 64 {
+			want = 64
+		}
+		if sr.Stats.RollingMissSamples != want {
+			t.Errorf("stream %d rolling samples %d, want %d", i, sr.Stats.RollingMissSamples, want)
+		}
+		if sr.Stats.RollingMissRate < 0 || sr.Stats.RollingMissRate > 1 {
+			t.Errorf("stream %d rolling miss rate %v outside [0,1]", i, sr.Stats.RollingMissRate)
+		}
+	}
+
+	// /healthz: fleet promotion block plus per-stream predictor identity
+	// and rolling miss window.
+	rec := httptest.NewRecorder()
+	srv.HealthHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	var rep struct {
+		Promotion *promote.Status `json:"promotion"`
+		Streams   []struct {
+			Name               string  `json:"name"`
+			Predictor          string  `json:"predictor"`
+			RollingMissRate    float64 `json:"rolling_miss_rate"`
+			RollingMissSamples int     `json:"rolling_miss_samples"`
+		} `json:"streams"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("healthz is not JSON: %v", err)
+	}
+	if rep.Promotion == nil {
+		t.Fatal("healthz missing the promotion block")
+	}
+	if rep.Promotion.State != promote.StateCanary.String() {
+		t.Fatalf("healthz promotion state %q, want %q", rep.Promotion.State, promote.StateCanary)
+	}
+	if rep.Promotion.Challenger != shadow.BackendOrder2 {
+		t.Fatalf("healthz challenger %q, want %q", rep.Promotion.Challenger, shadow.BackendOrder2)
+	}
+	healthCanaried := 0
+	for _, h := range rep.Streams {
+		if h.Predictor == shadow.BackendOrder2 {
+			healthCanaried++
+		}
+		if h.RollingMissSamples == 0 {
+			t.Errorf("stream %s: healthz rolling miss window empty after a served run", h.Name)
+		}
+	}
+	if healthCanaried != canaried {
+		t.Fatalf("healthz shows %d canaried streams, controller says %d", healthCanaried, canaried)
+	}
+
+	// The promote metric families are live on the registry.
+	mrec := httptest.NewRecorder()
+	metrics.Handler(reg).ServeHTTP(mrec, httptest.NewRequest("GET", "/metrics", nil))
+	body := mrec.Body.String()
+	for _, want := range []string{"triplec_promote_state", "triplec_promote_canary_streams"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+}

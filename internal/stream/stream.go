@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"time"
 
 	"triplec/internal/core"
@@ -33,6 +34,7 @@ import (
 	"triplec/internal/parallel"
 	"triplec/internal/partition"
 	"triplec/internal/pipeline"
+	"triplec/internal/promote"
 	"triplec/internal/sched"
 	"triplec/internal/shadow"
 	"triplec/internal/span"
@@ -144,6 +146,15 @@ type ServerConfig struct {
 	// any pending dump before returning. Recording on the steady-state
 	// frame path allocates nothing.
 	Flight *span.FlightRecorder
+	// Promote, when set, is the guarded predictor-promotion controller:
+	// NewServer attaches every stream's shadow board and runtime manager to
+	// it (so each stream needs Config.Shadow), the serving loop feeds it
+	// every served frame's deadline outcome, and the supervisor re-wires
+	// rebuilt managers through it so a mid-canary stall cannot silently
+	// shed the steering. The controller's state rides along in /healthz
+	// (healthReport.Promotion, per-stream Predictor) and, when Flight is
+	// also set, in every dump's metadata and promote instants.
+	Promote *promote.Controller
 }
 
 func (c ServerConfig) withDefaults(streams []Config) ServerConfig {
@@ -197,6 +208,12 @@ type Stats struct {
 	MeanLatencyMs   float64
 	WorstLatencyMs  float64
 	ThroughputFPS   float64 // processed frames per wall-clock second
+	// RollingMissRate is the deadline-miss fraction over the last
+	// RollingMissSamples (≤ 64) processed frames when the run ended — the
+	// recency view /healthz serves live, kept here so offline runs can see
+	// end-of-run drift that the lifetime MissRate averages away.
+	RollingMissRate    float64
+	RollingMissSamples int
 }
 
 // MissRate returns the deadline-miss fraction over processed frames.
@@ -310,6 +327,21 @@ func NewServer(cfg ServerConfig, streams []Config) (*Server, error) {
 	if cfg.Flight != nil {
 		cfg.Flight.SetMeta(spanMeta(streams))
 	}
+	if cfg.Promote != nil {
+		for i, sc := range streams {
+			if sc.Shadow == nil {
+				return nil, fmt.Errorf("stream: stream %d (%q) has no shadow board; guarded promotion scores challengers on the per-stream bake-off boards, so every stream needs Config.Shadow", i, sc.Name)
+			}
+			if err := cfg.Promote.AttachStream(streamLabel(sc, i), sc.Shadow, sc.Manager); err != nil {
+				return nil, fmt.Errorf("stream: %w", err)
+			}
+		}
+		if cfg.Flight != nil {
+			// Stamp the controller's state into every dump's metadata and
+			// emit promote instants into the trace ring.
+			cfg.Promote.SetSpanRecorder(cfg.Flight.Recorder())
+		}
+	}
 	return srv, nil
 }
 
@@ -420,6 +452,13 @@ type runner struct {
 	latencySum   float64
 	sinceRestart int // frames resolved since the last (re)start
 
+	// Rolling deadline-miss window over processed frames: the low bit of
+	// each served frame shifts in (1 = miss), missWinN saturates at
+	// missWindow. Owned by the serving goroutine; snapshotted into
+	// Stats.RollingMissRate when the stream ends.
+	missWin  uint64
+	missWinN int
+
 	// shadowObs is the reusable dense observation handed to the shadow
 	// board each frame (scratch space keeps the path allocation-free).
 	shadowObs core.FrameObs
@@ -480,6 +519,14 @@ func serveOne(si int, sc Config, n int, ctl *controller, pool *parallel.Pool, te
 	}
 	if r.res.Stats.Processed > 0 {
 		r.res.Stats.MeanLatencyMs = r.latencySum / float64(r.res.Stats.Processed)
+	}
+	if r.missWinN > 0 {
+		win := r.missWin
+		if r.missWinN < missWindow {
+			win &= (1 << r.missWinN) - 1
+		}
+		r.res.Stats.RollingMissRate = float64(bits.OnesCount64(win)) / float64(r.missWinN)
+		r.res.Stats.RollingMissSamples = r.missWinN
 	}
 	r.res.Stats.BudgetMs = r.mgr.BudgetMs
 	r.res.Stats.FinalQuality = r.deg.Level()
@@ -636,6 +683,10 @@ func (r *runner) serveFrames(start int) (failedAt int, stalled bool, err error) 
 		if len(rep.AccountingErrs) > 0 {
 			res.Stats.AccountingErrs++
 		}
+		r.noteMiss(missed == 1)
+		if r.cfg.Promote != nil {
+			r.cfg.Promote.ObserveServed(r.si, missed == 1)
+		}
 		r.observeOutcome(missed == 0)
 		r.spanProcessed(i, rep.Scenario.Index(), int(rep.Quality), d.Cores, dec.PredictedMs, rep.LatencyMs, missed == 1)
 		tel.processed(rep.LatencyMs, missed == 1, len(rep.AccountingErrs) > 0)
@@ -685,6 +736,19 @@ func (r *runner) recordLostFrame(i int, cores, serialFrame float64, taskFailure 
 	r.sinceRestart++
 	r.observeOutcome(false)
 	_ = r.res.Trace.Append(0, 0, cores, 0, 0, serialFrame, failed, abandoned)
+}
+
+// noteMiss shifts one served frame's deadline outcome into the runner's
+// rolling miss window (see Stats.RollingMissRate).
+func (r *runner) noteMiss(missed bool) {
+	bit := uint64(0)
+	if missed {
+		bit = 1
+	}
+	r.missWin = r.missWin<<1 | bit
+	if r.missWinN < missWindow {
+		r.missWinN++
+	}
 }
 
 // observeOutcome feeds the degradation ladder and publishes rung changes.

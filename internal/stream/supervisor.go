@@ -77,6 +77,12 @@ func (r *runner) supervised() {
 			// Fresh builder + fan-out sink for the rebuilt pair (the old
 			// builder stays with the poisoned engine, never committed).
 			r.attachSpans()
+			if r.cfg.Promote != nil {
+				// The rebuilt manager starts un-steered; re-apply the
+				// controller's current demand source and tail guard so a
+				// stall during a canary cannot silently drop the steering.
+				r.cfg.Promote.Rewire(r.si, r.mgr)
+			}
 		}
 		r.res.Stats.Restarts++
 		r.tel.restarted()

@@ -56,10 +56,19 @@ type telemetry struct {
 	// most one frame, fine for a health probe).
 	scenarioWin  atomic.Uint64
 	scenarioWinN atomic.Uint64
+
+	// Rolling deadline-miss window over processed frames, same shape as the
+	// scenario window above (1 = miss). Written only inside processed().
+	missWin  atomic.Uint64
+	missWinN atomic.Uint64
 }
 
 // scenarioWindow is the rolling hit-rate window size.
 const scenarioWindow = 64
+
+// missWindow is the rolling deadline-miss window size: the last 64 processed
+// frames, sized to one uint64 so the per-frame update is two atomic stores.
+const missWindow = 64
 
 const (
 	streamIdle = int32(iota)
@@ -222,6 +231,23 @@ func (t *telemetry) rollingScenarioHitRate() (rate float64, samples int) {
 	return float64(bits.OnesCount64(win)) / float64(n), int(n)
 }
 
+// rollingMissRate reports the deadline-miss fraction over the last
+// min(samples, 64) processed frames, and how many samples back it — the
+// recency counterpart to the lifetime Accountant.MissRate, so /healthz
+// shows a shift (a promotion gone wrong, a scene change) while the
+// cumulative rate still averages it away.
+func (t *telemetry) rollingMissRate() (rate float64, samples int) {
+	n := t.missWinN.Load()
+	if n == 0 {
+		return 0, 0
+	}
+	win := t.missWin.Load()
+	if n < missWindow {
+		win &= (1 << n) - 1
+	}
+	return float64(bits.OnesCount64(win)) / float64(n), int(n)
+}
+
 // Serving-loop events, nil-safe so serveOne needs no telemetry branches.
 
 func (t *telemetry) serving() {
@@ -271,8 +297,14 @@ func (t *telemetry) processed(latencyMs float64, missed, acctErr bool) {
 	}
 	t.acct.Processed.Inc()
 	t.acct.LastLatencyMs.Set(latencyMs)
+	bit := uint64(0)
 	if missed {
+		bit = 1
 		t.acct.DeadlineMisses.Inc()
+	}
+	t.missWin.Store(t.missWin.Load()<<1 | bit)
+	if n := t.missWinN.Load(); n < missWindow {
+		t.missWinN.Store(n + 1)
 	}
 	if acctErr {
 		t.acct.AccountingErrs.Inc()
