@@ -19,6 +19,8 @@
 //	triplec promote [-streams n] [-frames n] [-seed s] [-challenger name]
 //	  [-canary-frac f] [-guard-miss-rate r] [-spike-prob p] [-out log.txt]
 //	  [-expect state] [-json]
+//	triplec slo [-streams n] [-frames n] [-seed s] [-spike]
+//	  [-spike-from n] [-spike-to n] [-expect-page] [-json] [-out report.json]
 //	triplec trace dump.json
 //
 // The serve subcommand runs the concurrent multi-stream serving layer: N
@@ -65,6 +67,20 @@
 // controller live: per-stream steering shows as the /healthz "predictor"
 // field, the fleet state as healthReport "promotion" and the
 // triplec_promote_* metric families.
+//
+// The slo subcommand replays the frame-latency cause ledger and the
+// multi-window multi-burn-rate SLO engine (internal/slo) deterministically:
+// every frame's latency overage is decomposed exactly into causes (compute,
+// core-wait, scenario-miss replan, rebalance stall, degradation, fault
+// recovery, pipelining drain) and two SLOs — deadline hit rate and
+// within-25% prediction accuracy — are tracked over fast/slow frame windows
+// with Google-SRE paging and ticket burn thresholds. Same-flag runs produce
+// byte-identical JSON reports; -spike runs the fault-spike page drill and
+// -expect-page gates the exit code on it. `serve -slo` runs the same
+// tracker live: the status rides in /healthz as the "slo" block, the
+// triplec_slo_* metric families are exported, and /debug/sloz renders the
+// live scoreboard; -slo-exemplars links latency-histogram buckets to
+// flight-recorder dumps via OpenMetrics exemplars.
 //
 // Both serving subcommands accept -trace-dir to enable the per-frame span
 // tracing layer (internal/span): an always-on flight recorder whose
@@ -119,6 +135,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "promote" {
 		if err := runPromote(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "triplec promote:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "slo" {
+		if err := runSlo(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "triplec slo:", err)
 			os.Exit(1)
 		}
 		return

@@ -33,6 +33,8 @@ func runPromote(args []string) error {
 		"fraction of streams steered by the challenger during the canary stage")
 	guardMissRate := fs.Float64("guard-miss-rate", 0.25,
 		"rolling deadline-miss rate on steered streams beyond which the promotion rolls back")
+	adaptiveGuards := fs.Bool("adaptive-guards", false,
+		"derive the guardrail thresholds (miss rate, accuracy, bias, hit rate) from the baseline predictor's trailing windows instead of the fixed flags")
 	beat := fs.Int("beat", 0,
 		"consecutive frames of negative rolling regret before a canary starts (0 = default)")
 	spikeProb := fs.Float64("spike-prob", 0,
@@ -61,9 +63,10 @@ func runPromote(args []string) error {
 		Train:    *train,
 		BudgetMs: *budgetMs,
 		Promote: promote.Config{
-			CanaryFrac:  *canaryFrac,
-			MaxMissRate: *guardMissRate,
-			BeatFrames:  *beat,
+			CanaryFrac:     *canaryFrac,
+			MaxMissRate:    *guardMissRate,
+			BeatFrames:     *beat,
+			AdaptiveGuards: *adaptiveGuards,
 		},
 	}
 	switch *challenger {

@@ -19,6 +19,7 @@ import (
 	"triplec/internal/promote"
 	"triplec/internal/sched"
 	"triplec/internal/shadow"
+	"triplec/internal/slo"
 	"triplec/internal/span"
 	"triplec/internal/stream"
 	"triplec/internal/trace"
@@ -64,6 +65,12 @@ func runServe(args []string) error {
 		"fraction of streams steered by the challenger during the canary stage")
 	guardMissRate := fs.Float64("guard-miss-rate", 0.25,
 		"rolling deadline-miss rate on steered streams beyond which the promotion rolls back")
+	adaptiveGuards := fs.Bool("adaptive-guards", false,
+		"derive the promotion guardrail thresholds from the baseline predictor's trailing windows instead of the fixed flags")
+	sloOn := fs.Bool("slo", false,
+		"track frame-latency cause attribution and multi-window SLO burn rates; status in /healthz, scoreboard on /debug/sloz, triplec_slo_* metric families (requires -metrics-addr or -metrics-csv)")
+	sloExemplars := fs.Bool("slo-exemplars", false,
+		"attach OpenMetrics exemplars (frame index + flight-recorder dump) to the frame-latency histograms; implies -slo")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,6 +93,12 @@ func runServe(args []string) error {
 		// Promotion scores challengers on the bake-off boards, so it
 		// needs them racing.
 		*shadowOn = true
+	}
+	if *sloExemplars {
+		*sloOn = true
+	}
+	if *sloOn && *metricsAddr == "" && *metricsCSV == "" {
+		return fmt.Errorf("serve: -slo needs the telemetry layer (-metrics-addr or -metrics-csv)")
 	}
 
 	study := experiments.DefaultStudy()
@@ -159,9 +172,10 @@ func runServe(args []string) error {
 	var ctl *promote.Controller
 	if *predictor != "baseline" {
 		pcfg := promote.Config{
-			Challenger:  *predictor, // "auto" means watch the whole roster
-			CanaryFrac:  *canaryFrac,
-			MaxMissRate: *guardMissRate,
+			Challenger:     *predictor, // "auto" means watch the whole roster
+			CanaryFrac:     *canaryFrac,
+			MaxMissRate:    *guardMissRate,
+			AdaptiveGuards: *adaptiveGuards,
 		}
 		var err error
 		if ctl, err = promote.NewController(pcfg); err != nil {
@@ -191,6 +205,17 @@ func runServe(args []string) error {
 			}
 		}
 	}
+	var tracker *slo.Tracker
+	if *sloOn {
+		tracker = slo.NewTracker(slo.Config{Streams: *streams})
+		names := make([]string, len(cfgs))
+		for i := range cfgs {
+			names[i] = cfgs[i].Name
+		}
+		if err := tracker.EnableMetrics(reg, names); err != nil {
+			return err
+		}
+	}
 	srv, err := stream.NewServer(stream.ServerConfig{
 		ModelCores:     *cores,
 		HostWorkers:    *workers,
@@ -200,6 +225,8 @@ func runServe(args []string) error {
 		Metrics:        reg,
 		Flight:         flight,
 		Promote:        ctl,
+		SLO:            tracker,
+		SLOExemplars:   *sloExemplars,
 	}, cfgs)
 	if err != nil {
 		return err
@@ -232,6 +259,9 @@ func runServe(args []string) error {
 			mux.Handle("/debug/tracez", flight.TracezHandler())
 		}
 		mux.Handle("/debug/predictorz", shadow.Handler(boards))
+		if tracker != nil {
+			mux.Handle("/debug/sloz", tracker.Handler())
+		}
 		httpSrv = &http.Server{Handler: mux}
 		go func() {
 			if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
@@ -333,6 +363,23 @@ func runServe(args []string) error {
 				return err
 			}
 		}
+	}
+
+	if tracker != nil {
+		st := tracker.Status(false)
+		fmt.Printf("\nSLO burn rates (%d frames):\n", st.Frame)
+		for _, s := range st.SLOs {
+			fmt.Printf("  %-10s objective=%.3f state=%-6s fast-burn=%.2f slow-burn=%.2f pages=%d tickets=%d\n",
+				s.SLO, s.Objective, s.State, s.FastBurn, s.SlowBurn, s.Pages, s.Tickets)
+		}
+		fmt.Printf("fleet latency by cause: ")
+		for i, c := range st.Fleet.Causes {
+			if i > 0 {
+				fmt.Printf(", ")
+			}
+			fmt.Printf("%s %.0f%%", c.Cause, 100*c.MsShare)
+		}
+		fmt.Println()
 	}
 
 	if flight != nil {

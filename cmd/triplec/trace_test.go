@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"triplec/internal/span"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the trace golden file")
+
+// traceDump is a handcrafted flight-recorder dump exercising every path
+// of the waterfall renderer: a clean compute frame, a scenario-missed
+// deadline miss, a degraded frame, a failed frame and the fault-recovery
+// frame after it.
+func traceDump() *span.Dump {
+	return &span.Dump{
+		Reason:    "deadline_miss",
+		Stream:    0,
+		Frame:     11,
+		Detail:    1.25,
+		Coalesced: 1,
+		Processes: map[int]string{0: "stream0"},
+		Frames: []span.DumpFrame{
+			{
+				Pid: 0, Process: "stream0", Frame: 10, Scenario: "roi", Quality: "full",
+				Outcome: "processed", PredictedMs: 40, ActualMs: 39.5, BudgetMs: 50, Cores: 4,
+				Tasks: []span.DumpTask{
+					{Name: "ENH", PredictedMs: 12, ActualMs: 11.5, Stripes: 4},
+					{Name: "RDG", PredictedMs: 20, ActualMs: 20, Stripes: 4},
+					{Name: "MKX", PredictedMs: 8, ActualMs: 8, Stripes: 1},
+				},
+			},
+			{
+				Pid: 0, Process: "stream0", Frame: 11, Scenario: "zoom", Quality: "full",
+				Outcome: "processed", PredictedMs: 42, ActualMs: 62.5, BudgetMs: 50, Cores: 4,
+				Tasks: []span.DumpTask{
+					{Name: "ENH", PredictedMs: 12, ActualMs: 14, Stripes: 4},
+					{Name: "RDG", PredictedMs: 20, ActualMs: 34.5, Stripes: 4},
+					{Name: "ZOOM", PredictedMs: 10, ActualMs: 14, Stripes: 2},
+				},
+			},
+			{
+				Pid: 0, Process: "stream0", Frame: 12, Scenario: "roi", Quality: "rdg-roi",
+				Outcome: "processed", PredictedMs: 30, ActualMs: 33, BudgetMs: 50, Cores: 2,
+				Tasks: []span.DumpTask{
+					{Name: "ENH", PredictedMs: 12, ActualMs: 12.5, Stripes: 2},
+					{Name: "RDG", PredictedMs: 18, ActualMs: 20.5, Stripes: 2},
+				},
+			},
+			{
+				Pid: 0, Process: "stream0", Frame: 13, Scenario: "", Quality: "full",
+				Outcome: "failed", Cores: 2,
+			},
+			{
+				Pid: 0, Process: "stream0", Frame: 14, Scenario: "roi", Quality: "full",
+				Outcome: "processed", PredictedMs: 38, ActualMs: 44, BudgetMs: 50, Cores: 2,
+				Tasks: []span.DumpTask{
+					{Name: "ENH", PredictedMs: 12, ActualMs: 13, Stripes: 2},
+					{Name: "RDG", PredictedMs: 20, ActualMs: 25, Stripes: 2},
+					{Name: "MKX", PredictedMs: 6, ActualMs: 6, Stripes: 1},
+				},
+			},
+		},
+		Instants: []span.DumpInstant{
+			{Name: "scenario_miss", Pid: 0, Process: "stream0", Frame: 11},
+		},
+	}
+}
+
+// TestTraceGolden pins the trace waterfall text output — including the
+// per-frame SLO cause column — against testdata/trace_golden.txt.
+// Regenerate deliberately with: go test ./cmd/triplec -run TraceGolden -update-golden
+func TestTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	renderTrace(&buf, "dump.json", traceDump(), 20, 32)
+
+	golden := filepath.Join("testdata", "trace_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace output diverges from %s (re-run with -update-golden if intended)\ngot:\n%s\nwant:\n%s",
+			golden, buf.String(), want)
+	}
+}
+
+// TestTraceCauseColumn spot-checks the ledger classification feeding the
+// cause column: scenario-miss wins the overage on the missed frame, the
+// degraded frame's overage lands on degrade, and the frame after a failed
+// one is charged to fault recovery.
+func TestTraceCauseColumn(t *testing.T) {
+	d := traceDump()
+	causes := frameCauses(d)
+	if n := len(causes); n != len(d.Frames) {
+		t.Fatalf("%d breakdowns for %d frames", n, len(d.Frames))
+	}
+	for i, want := range []string{"compute", "scenario-miss", "degrade", "compute", "fault"} {
+		if got := causes[i].Dominant.String(); got != want {
+			t.Errorf("frame %d dominant cause %s, want %s", d.Frames[i].Frame, got, want)
+		}
+	}
+	// The decomposition stays exact on dump-derived inputs too.
+	for i, b := range causes {
+		sum := 0.0
+		for _, ms := range b.Ms {
+			sum += ms
+		}
+		if diff := sum - d.Frames[i].ActualMs; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("frame %d cause sum %.9f != actual %.9f", d.Frames[i].Frame, sum, d.Frames[i].ActualMs)
+		}
+	}
+}

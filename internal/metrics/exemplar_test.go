@@ -1,0 +1,304 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// parseOpenMetrics is a strict parser for the OpenMetrics text rendering:
+// it checks the `# EOF` terminator, that counter HELP/TYPE lines drop the
+// `_total` suffix while sample names keep it, that exemplar clauses only
+// appear on `_bucket` lines and parse as `# {k="v",...} value`, and that
+// buckets stay cumulative. Returns scalar samples and bucket exemplars
+// keyed by full series name.
+func parseOpenMetrics(t *testing.T, text string) (map[string]float64, map[string]float64) {
+	t.Helper()
+	if !strings.HasSuffix(text, "# EOF\n") {
+		t.Fatalf("exposition does not end with %q", "# EOF\n")
+	}
+	samples := map[string]float64{}
+	exemplars := map[string]float64{} // bucket series -> exemplar value
+	typed := map[string]string{}
+	lastBucket := map[string]float64{}
+	lines := strings.Split(text, "\n")
+	for ln, line := range lines {
+		if line == "" {
+			if ln != len(lines)-1 {
+				t.Fatalf("line %d: blank line inside exposition", ln+1)
+			}
+			continue
+		}
+		if line == "# EOF" {
+			if ln != len(lines)-2 {
+				t.Fatalf("line %d: # EOF is not the final line", ln+1)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 || !validMetricName(parts[2]) {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			if parts[1] == "TYPE" {
+				if parts[3] == "counter" && strings.HasSuffix(parts[2], "_total") {
+					t.Fatalf("line %d: counter family %q keeps _total in TYPE", ln+1, parts[2])
+				}
+				typed[parts[2]] = parts[3]
+			}
+			continue
+		}
+		// Sample line, optionally with a trailing exemplar clause:
+		//   series value [# {labels} exemplarValue]
+		sample := line
+		var exClause string
+		if i := strings.Index(line, " # "); i >= 0 {
+			sample, exClause = line[:i], line[i+3:]
+		}
+		sp := strings.LastIndexByte(sample, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator in %q", ln+1, sample)
+		}
+		series, valStr := sample[:sp], sample[sp+1:]
+		v, err := parseFloat(valStr)
+		if err != nil && valStr != "+Inf" && valStr != "-Inf" && valStr != "NaN" {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+		}
+		name := series
+		labels := ""
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("line %d: unterminated label set in %q", ln+1, series)
+			}
+			name, labels = series[:i], series[i+1:len(series)-1]
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
+			"_bucket"), "_sum"), "_count")
+		if typed[name] == "" && typed[base] == "" && typed[strings.TrimSuffix(name, "_total")] == "" {
+			t.Fatalf("line %d: sample %q precedes its TYPE declaration", ln+1, name)
+		}
+		if exClause != "" {
+			if !strings.HasSuffix(name, "_bucket") {
+				t.Fatalf("line %d: exemplar on non-bucket series %q", ln+1, series)
+			}
+			close := strings.Index(exClause, "} ")
+			if !strings.HasPrefix(exClause, "{") || close < 0 {
+				t.Fatalf("line %d: malformed exemplar clause %q", ln+1, exClause)
+			}
+			for _, kv := range splitLabels(exClause[1:close]) {
+				eq := strings.IndexByte(kv, '=')
+				if eq < 0 || !validLabelName(kv[:eq]) {
+					t.Fatalf("line %d: malformed exemplar label %q", ln+1, kv)
+				}
+				val := kv[eq+1:]
+				if len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+					t.Fatalf("line %d: unquoted exemplar label value %q", ln+1, kv)
+				}
+			}
+			ev, err := parseFloat(exClause[close+2:])
+			if err != nil {
+				t.Fatalf("line %d: bad exemplar value %q: %v", ln+1, exClause, err)
+			}
+			exemplars[series] = ev
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			key := base + "{" + stripLE(labels) + "}"
+			if prev, ok := lastBucket[key]; ok && v < prev {
+				t.Fatalf("line %d: histogram %q buckets not cumulative (%v < %v)", ln+1, key, v, prev)
+			}
+			lastBucket[key] = v
+			continue
+		}
+		samples[series] = v
+	}
+	return samples, exemplars
+}
+
+// TestOpenMetricsExemplarRoundTrip: attach exemplars, render OpenMetrics,
+// and verify via the strict parser that every exemplar lands on the right
+// bucket with the right trace references.
+func TestOpenMetricsExemplarRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	c, err := r.NewCounter("rt_frames_total", "Frames.", L("stream", "s0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add(3)
+	h, err := r.NewHistogram("rt_latency_ms", "Latency.", []float64{1, 10, 100}, L("stream", "s0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.EnableExemplars()
+	h.Observe(5)
+	h.Observe(40)
+	h.AttachExemplar(40, 17, 2)  // bucket le="100", dump linked
+	h.AttachExemplar(0.5, 3, -1) // bucket le="1", no dump
+	h.Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	_, exemplars := parseOpenMetrics(t, out)
+
+	if got := exemplars[`rt_latency_ms_bucket{stream="s0",le="100"}`]; got != 40 {
+		t.Fatalf("le=100 exemplar value %v, want 40", got)
+	}
+	if got := exemplars[`rt_latency_ms_bucket{stream="s0",le="1"}`]; got != 0.5 {
+		t.Fatalf("le=1 exemplar value %v, want 0.5", got)
+	}
+	if !strings.Contains(out, `# {frame="17",dump="2"} 40`) {
+		t.Errorf("exposition missing dump-linked exemplar:\n%s", out)
+	}
+	if !strings.Contains(out, `# {frame="3"} 0.5`) {
+		t.Errorf("exposition missing dumpless exemplar:\n%s", out)
+	}
+	// Counter family name drops _total in HELP/TYPE only.
+	if !strings.Contains(out, "# TYPE rt_frames counter") {
+		t.Error("counter TYPE line did not strip _total")
+	}
+	if !strings.Contains(out, `rt_frames_total{stream="s0"} 3`) {
+		t.Error("counter sample lost its _total suffix")
+	}
+	// The Prometheus (0.0.4) rendering must stay exemplar-free.
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "# {") {
+		t.Error("Prometheus rendering leaked exemplar syntax")
+	}
+	parseExposition(t, buf.String())
+}
+
+// TestHandlerContentNegotiation: the /metrics handler switches format on
+// the Accept header.
+func TestHandlerContentNegotiation(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.NewCounter("neg_total", "n."); err != nil {
+		t.Fatal(err)
+	}
+	hd := Handler(r)
+
+	rec := httptest.NewRecorder()
+	hd.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("default content type %q", ct)
+	}
+	if strings.Contains(rec.Body.String(), "# EOF") {
+		t.Fatal("default format has an OpenMetrics terminator")
+	}
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	rec = httptest.NewRecorder()
+	hd.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "application/openmetrics-text") {
+		t.Fatalf("negotiated content type %q", ct)
+	}
+	if !strings.HasSuffix(rec.Body.String(), "# EOF\n") {
+		t.Fatal("negotiated body is not OpenMetrics-terminated")
+	}
+}
+
+// TestExemplarPathAllocFree re-pins the hot path at 0 allocs/op with
+// exemplars enabled: both the plain Observe and the AttachExemplar call.
+func TestExemplarPathAllocFree(t *testing.T) {
+	r := NewRegistry()
+	plain, err := r.NewHistogram("pin_plain_ms", "", DefaultLatencyBucketsMs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := r.NewHistogram("pin_ex_ms", "", DefaultLatencyBucketsMs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.EnableExemplars()
+	frame := int64(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		frame++
+		plain.Observe(12.5)
+		ex.Observe(12.5)
+		ex.AttachExemplar(12.5, frame, -1)
+	})
+	if allocs != 0 {
+		t.Fatalf("exemplar-enabled record path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestObserveDropsNonFinite: NaN and ±Inf must not move any histogram
+// state.
+func TestObserveDropsNonFinite(t *testing.T) {
+	h := newHistogram([]float64{1, 10})
+	h.EnableExemplars()
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		h.Observe(v)
+		h.AttachExemplar(v, 1, 1)
+	}
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("non-finite observations counted: count=%d sum=%g", h.Count(), h.Sum())
+	}
+	for _, e := range h.Snapshot().Exemplars {
+		if e.Valid {
+			t.Fatalf("non-finite exemplar stored: %+v", e)
+		}
+	}
+}
+
+// TestQuantileProperty fuzzes Quantile over random histograms and q
+// values (including q outside [0,1], NaN, and empty histograms): the
+// estimate must always be finite, land inside [0, max bound], and be
+// monotone in q.
+func TestQuantileProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 2000; iter++ {
+		nb := 1 + rng.Intn(10)
+		bounds := make([]float64, 0, nb)
+		seen := map[float64]bool{}
+		for len(bounds) < nb {
+			b := math.Round(rng.Float64()*1000) / 10
+			if !seen[b] {
+				seen[b] = true
+				bounds = append(bounds, b)
+			}
+		}
+		sort.Float64s(bounds)
+		h := newHistogram(bounds)
+		n := rng.Intn(50) // sometimes zero: the empty-histogram case
+		for i := 0; i < n; i++ {
+			h.Observe(rng.Float64() * 120)
+		}
+		s := h.Snapshot()
+		qs := []float64{-0.5, 0, 0.25, 0.5, 0.9, 0.99, 1, 1.7, math.NaN(), math.Inf(1), math.Inf(-1)}
+		prev := math.Inf(-1)
+		for _, q := range qs {
+			v := s.Quantile(q)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("iter %d: Quantile(%v) = %v escapes", iter, q, v)
+			}
+			if v < 0 || v > bounds[len(bounds)-1] {
+				t.Fatalf("iter %d: Quantile(%v) = %v outside [0, %v]", iter, q, v, bounds[len(bounds)-1])
+			}
+			if s.Count == 0 && v != 0 {
+				t.Fatalf("iter %d: empty histogram Quantile(%v) = %v, want 0", iter, q, v)
+			}
+			// Monotonicity over the ordered finite prefix of qs.
+			if !math.IsNaN(q) && !math.IsInf(q, 0) {
+				if v < prev {
+					t.Fatalf("iter %d: Quantile not monotone: q=%v gave %v after %v", iter, q, v, prev)
+				}
+				prev = v
+			}
+		}
+	}
+	// Degenerate snapshot with no bounds at all must return 0.
+	empty := HistogramSnapshot{Count: 5, Counts: []uint64{5}}
+	if v := empty.Quantile(0.5); v != 0 {
+		t.Fatalf("boundless snapshot Quantile = %v, want 0", v)
+	}
+}

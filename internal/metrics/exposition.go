@@ -93,13 +93,107 @@ func escapeHelp(s string) string {
 	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
+// WriteOpenMetrics renders the registry in the OpenMetrics 1.0 text
+// format: counter family names drop their `_total` suffix in the HELP and
+// TYPE lines (sample names keep it), histogram bucket lines carry
+// exemplars (`# {frame="12",dump="3"} value`) when one is attached, and
+// the stream ends with the mandatory `# EOF` terminator.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	snap := r.Snapshot()
+	bw := bufio.NewWriter(w)
+	for _, f := range snap.Families {
+		famName := f.Name
+		if f.Kind == KindCounter {
+			famName = strings.TrimSuffix(famName, "_total")
+		}
+		if f.Help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(famName)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.Help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(famName)
+		bw.WriteByte(' ')
+		bw.WriteString(f.Kind.String())
+		bw.WriteByte('\n')
+		for _, m := range f.Metrics {
+			switch f.Kind {
+			case KindCounter, KindGauge:
+				writeSample(bw, f.Name, "", m.LabelStr, "", m.Value)
+			case KindHistogram:
+				h := m.Histogram
+				cum := uint64(0)
+				for i, c := range h.Counts {
+					cum += c
+					le := "+Inf"
+					if i < len(h.Bounds) {
+						le = formatFloat(h.Bounds[i])
+					}
+					writeBucketSample(bw, f.Name, m.LabelStr, le, float64(cum), bucketExemplar(h, i))
+				}
+				writeSample(bw, f.Name, "_sum", m.LabelStr, "", h.Sum)
+				writeSample(bw, f.Name, "_count", m.LabelStr, "", float64(h.Count))
+			}
+		}
+	}
+	bw.WriteString("# EOF\n")
+	return bw.Flush()
+}
+
+func bucketExemplar(h *HistogramSnapshot, i int) *Exemplar {
+	if i >= len(h.Exemplars) || !h.Exemplars[i].Valid {
+		return nil
+	}
+	return &h.Exemplars[i]
+}
+
+// writeBucketSample emits one `name_bucket{...,le="x"} value` line with an
+// optional trailing OpenMetrics exemplar clause.
+func writeBucketSample(bw *bufio.Writer, name, labels, le string, v float64, ex *Exemplar) {
+	bw.WriteString(name)
+	bw.WriteString("_bucket{")
+	bw.WriteString(labels)
+	if labels != "" {
+		bw.WriteByte(',')
+	}
+	bw.WriteString(`le="`)
+	bw.WriteString(le)
+	bw.WriteString(`"} `)
+	bw.WriteString(formatFloat(v))
+	if ex != nil {
+		bw.WriteString(` # {frame="`)
+		bw.WriteString(strconv.FormatInt(ex.Frame, 10))
+		bw.WriteByte('"')
+		if ex.Dump >= 0 {
+			bw.WriteString(`,dump="`)
+			bw.WriteString(strconv.FormatInt(ex.Dump, 10))
+			bw.WriteByte('"')
+		}
+		bw.WriteString("} ")
+		bw.WriteString(formatFloat(ex.Value))
+	}
+	bw.WriteByte('\n')
+}
+
+// openMetricsContentType is what an OpenMetrics-negotiated scrape gets.
+const openMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
 // Handler returns an http.Handler serving the registry in the Prometheus
-// text format — mount it at /metrics.
+// text format — mount it at /metrics. Scrapers whose Accept header asks
+// for application/openmetrics-text get the OpenMetrics rendering
+// (exemplars included) instead.
 func Handler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		// The write goes straight to the response; a scrape error at this
 		// point means the client went away, nothing to recover.
+		if strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", openMetricsContentType)
+			_ = r.WriteOpenMetrics(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
 	})
 }

@@ -22,6 +22,7 @@ package metrics
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 )
 
@@ -100,6 +101,24 @@ type Histogram struct {
 	counts  []atomic.Uint64
 	sumBits atomic.Uint64
 	count   atomic.Uint64
+
+	// Exemplar slots, one per bucket, allocated only by EnableExemplars
+	// (opt-in): the plain Observe path never touches them, so its
+	// 0 allocs/op contract is unchanged.
+	exMu sync.Mutex
+	ex   []Exemplar
+}
+
+// Exemplar links one bucket's latest noteworthy observation to its trace
+// context: the frame index it came from and, when the flight recorder
+// had a dump armed, the dump sequence number (-1 otherwise). Exposed in
+// OpenMetrics exemplar syntax so a bad latency bucket points straight at
+// the Chrome-trace dump explaining it.
+type Exemplar struct {
+	Value float64
+	Frame int64
+	Dump  int64 // flight-recorder dump seq, -1 when none
+	Valid bool
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -108,10 +127,11 @@ func newHistogram(bounds []float64) *Histogram {
 	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(bounds)+1)}
 }
 
-// Observe records one sample. NaN observations are dropped so a single bad
-// frame can never poison the running sum.
+// Observe records one sample. NaN and ±Inf observations are dropped so a
+// single bad frame can never poison the running sum or the quantile
+// estimate.
 func (h *Histogram) Observe(v float64) {
-	if h == nil || math.IsNaN(v) {
+	if h == nil || math.IsNaN(v) || math.IsInf(v, 0) {
 		return
 	}
 	i := 0
@@ -127,6 +147,39 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// EnableExemplars allocates the per-bucket exemplar slots. Call once at
+// setup time, before concurrent use.
+func (h *Histogram) EnableExemplars() {
+	if h == nil {
+		return
+	}
+	h.exMu.Lock()
+	if h.ex == nil {
+		h.ex = make([]Exemplar, len(h.counts))
+	}
+	h.exMu.Unlock()
+}
+
+// AttachExemplar stores an exemplar on the bucket v falls into,
+// overwriting the bucket's previous one. It does NOT count v — the
+// caller already Observed the value (typically via an engine observer);
+// attaching is a separate step so the sample is never double-counted.
+// No-op unless EnableExemplars was called. Allocation-free.
+func (h *Histogram) AttachExemplar(v float64, frame, dump int64) {
+	if h == nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	h.exMu.Lock()
+	if h.ex != nil {
+		i := 0
+		for i < len(h.bounds) && v > h.bounds[i] {
+			i++
+		}
+		h.ex[i] = Exemplar{Value: v, Frame: frame, Dump: dump, Valid: true}
+	}
+	h.exMu.Unlock()
 }
 
 // Count returns the total number of observations.
@@ -152,6 +205,9 @@ type HistogramSnapshot struct {
 	Counts []uint64  // len(Bounds)+1, last is the +Inf bucket
 	Count  uint64
 	Sum    float64
+	// Exemplars is len(Counts) when exemplars are enabled, nil otherwise;
+	// entries with Valid=false have never been attached.
+	Exemplars []Exemplar
 }
 
 // Snapshot copies the histogram state. Buckets and the total are read
@@ -170,6 +226,11 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
 	}
+	h.exMu.Lock()
+	if h.ex != nil {
+		s.Exemplars = append([]Exemplar(nil), h.ex...)
+	}
+	h.exMu.Unlock()
 	return s
 }
 

@@ -56,10 +56,10 @@ func TestAccountantDegenerateSamples(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a.ObservePrediction(0, 1.0, 0)            // actual carries no scale
-	a.ObservePrediction(0, math.NaN(), 1.0)   // non-finite prediction
-	a.ObservePrediction(0, 1.0, math.Inf(1))  // non-finite actual
-	a.ObservePrediction(0, 1.1, 1.0)          // the one good sample
+	a.ObservePrediction(0, 1.0, 0)           // actual carries no scale
+	a.ObservePrediction(0, math.NaN(), 1.0)  // non-finite prediction
+	a.ObservePrediction(0, 1.0, math.Inf(1)) // non-finite actual
+	a.ObservePrediction(0, 1.1, 1.0)         // the one good sample
 	if got := a.Degenerate.Value(); got != 3 {
 		t.Errorf("degenerate counter = %v, want 3", got)
 	}

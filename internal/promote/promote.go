@@ -108,6 +108,19 @@ type Config struct {
 	// manager's PredictedDemandMs tail guard, whether or not that backend
 	// is promoted, so skip/serial decisions provision for predicted tails.
 	TailGuard bool
+	// AdaptiveGuards derives MaxMissRate/MinAccuracy/MaxAbsBias/MinHitRate
+	// from the deployed baseline's own trailing windows instead of the
+	// fixed constants above: the guard tracks scene difficulty, so a hard
+	// sequence is not mistaken for a challenger regression. While the
+	// baseline history is still warming up (fewer than two folded
+	// windows), canary entry waits.
+	AdaptiveGuards bool
+	// AdaptiveWindows is K, how many trailing 64-frame baseline windows
+	// the derived thresholds are computed over (default 8, max 16).
+	AdaptiveWindows int
+	// AdaptiveMargin widens the baseline percentile before it becomes a
+	// threshold: derived = p ± max(AdaptiveMargin·p, 0.05) (default 0.25).
+	AdaptiveMargin float64
 }
 
 func (c Config) withDefaults() Config {
@@ -149,6 +162,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxStrikes <= 0 {
 		c.MaxStrikes = 3
+	}
+	if c.AdaptiveWindows <= 0 {
+		c.AdaptiveWindows = 8
+	}
+	if c.AdaptiveWindows < 2 {
+		c.AdaptiveWindows = 2
+	}
+	if c.AdaptiveWindows > maxAdaptiveWindows {
+		c.AdaptiveWindows = maxAdaptiveWindows
+	}
+	if c.AdaptiveMargin <= 0 || math.IsNaN(c.AdaptiveMargin) {
+		c.AdaptiveMargin = 0.25
 	}
 	return c
 }
@@ -229,6 +254,57 @@ func (w *meanWindow) mean() float64 {
 
 func (w *meanWindow) reset() { *w = meanWindow{} }
 
+// maxAdaptiveWindows caps Config.AdaptiveWindows so the percentile scratch
+// buffer fits on the stack.
+const maxAdaptiveWindows = 16
+
+// statRing keeps the last k folded baseline-window statistics and answers
+// percentile queries over them. Push and percentile are allocation-free
+// (the sort scratch is a stack array).
+type statRing struct {
+	vals [maxAdaptiveWindows]float64
+	k    int
+	idx  int
+	n    int
+}
+
+func (r *statRing) push(v float64) {
+	if r.k <= 0 || r.k > maxAdaptiveWindows {
+		r.k = maxAdaptiveWindows
+	}
+	r.vals[r.idx] = v
+	r.idx = (r.idx + 1) % r.k
+	if r.n < r.k {
+		r.n++
+	}
+}
+
+// percentile returns the q-quantile (0 ≤ q ≤ 1) of the ring's contents by
+// linear interpolation between order statistics, 0 when empty.
+func (r *statRing) percentile(q float64) float64 {
+	if r.n == 0 {
+		return 0
+	}
+	var buf [maxAdaptiveWindows]float64
+	copy(buf[:r.n], r.vals[:r.n])
+	for i := 1; i < r.n; i++ {
+		v := buf[i]
+		j := i - 1
+		for j >= 0 && buf[j] > v {
+			buf[j+1] = buf[j]
+			j--
+		}
+		buf[j+1] = v
+	}
+	pos := q * float64(r.n-1)
+	lo := int(pos)
+	if lo >= r.n-1 {
+		return buf[r.n-1]
+	}
+	frac := pos - float64(lo)
+	return buf[lo] + (buf[lo+1]-buf[lo])*frac
+}
+
 // attached is one stream under the controller's watch.
 type attached struct {
 	name    string
@@ -276,6 +352,21 @@ type Controller struct {
 	hitWin  bitWindow  // challenger scenario hits
 	biasWin meanWindow // challenger signed relative error
 
+	// Adaptive-guard baseline history (AdaptiveGuards only): unsteered
+	// served frames and the baseline slot's forecast scores feed trailing
+	// 64-frame windows, which fold into K-deep stat rings the derived
+	// thresholds are computed from.
+	baseMissWin bitWindow
+	baseAccWin  bitWindow
+	baseHitWin  bitWindow
+	baseBiasWin meanWindow
+	baseServed  int // unsteered served frames since the last miss fold
+	baseScored  int // baseline scored frames since the last score fold
+	missHist    statRing
+	accHist     statRing
+	biasHist    statRing
+	hitHist     statRing
+
 	log          []Transition
 	onTransition func(Transition)
 	rec          *span.Recorder
@@ -289,7 +380,12 @@ func NewController(cfg Config) (*Controller, error) {
 	if cfg.Challenger == core.BackendBaseline {
 		return nil, fmt.Errorf("promote: challenger %q is the deployed baseline — nothing to promote", cfg.Challenger)
 	}
-	return &Controller{cfg: cfg, named: -1, challenger: -1, state: StateShadow}, nil
+	c := &Controller{cfg: cfg, named: -1, challenger: -1, state: StateShadow}
+	c.missHist.k = cfg.AdaptiveWindows
+	c.accHist.k = cfg.AdaptiveWindows
+	c.biasHist.k = cfg.AdaptiveWindows
+	c.hitHist.k = cfg.AdaptiveWindows
+	return c, nil
 }
 
 // AttachStream registers one stream's shadow board and manager. Stream
@@ -452,6 +548,24 @@ func (c *Controller) observeScores(stream int, fs *shadow.FrameScore) {
 			c.streak[s] = 0
 		}
 	}
+	if c.cfg.AdaptiveGuards && n > 0 {
+		sc0 := &fs.Scores[0]
+		if sc0.RelOK {
+			c.baseAccWin.push(sc0.Within25)
+			c.baseBiasWin.push(sc0.SignedRel)
+		}
+		c.baseHitWin.push(sc0.ScenarioHit)
+		c.baseScored++
+		if c.baseScored%guardWindow == 0 {
+			if c.baseAccWin.n > 0 {
+				c.accHist.push(c.baseAccWin.rate())
+				c.biasHist.push(math.Abs(c.baseBiasWin.mean()))
+			}
+			if c.baseHitWin.n > 0 {
+				c.hitHist.push(c.baseHitWin.rate())
+			}
+		}
+	}
 	if (c.state == StateCanary || c.state == StatePromoted) &&
 		c.challenger > 0 && c.challenger < n && c.steeredLocked(stream) {
 		sc := &fs.Scores[c.challenger]
@@ -481,10 +595,17 @@ func (c *Controller) ObserveServed(stream int, missed bool) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.state != StateCanary && c.state != StatePromoted {
-		return
+	steered := (c.state == StateCanary || c.state == StatePromoted) && c.steeredLocked(stream)
+	if c.cfg.AdaptiveGuards && !steered {
+		// Baseline-served frame: its deadline verdict calibrates the
+		// adaptive miss-rate guard.
+		c.baseMissWin.push(missed)
+		c.baseServed++
+		if c.baseServed%guardWindow == 0 && c.baseMissWin.n == guardWindow {
+			c.missHist.push(c.baseMissWin.rate())
+		}
 	}
-	if !c.steeredLocked(stream) {
+	if !steered {
 		return
 	}
 	c.missWin.push(missed)
@@ -521,6 +642,11 @@ func (c *Controller) stepLocked() {
 			}
 		}
 		if cand > 0 {
+			if c.cfg.AdaptiveGuards && !c.guardsLocked().Ready {
+				// Adaptive mode: hold the canary until the baseline
+				// history can supply derived thresholds.
+				return
+			}
 			c.promoteCanaryLocked(cand, reason)
 		}
 	case StateCanary:
@@ -576,8 +702,13 @@ func (c *Controller) promoteCanaryLocked(slot int, reason string) {
 	}
 	c.applySteerLocked()
 	c.resetWindowsLocked()
-	c.transitionLocked(StateCanary, slot,
-		fmt.Sprintf("%s; steering %d/%d streams", reason, k, n))
+	msg := fmt.Sprintf("%s; steering %d/%d streams", reason, k, n)
+	if c.cfg.AdaptiveGuards {
+		g := c.guardsLocked()
+		msg += fmt.Sprintf("; adaptive guards over %d baseline windows: miss<=%.3f acc>=%.3f |bias|<=%.3f hit>=%.3f",
+			g.Windows, g.MaxMissRate, g.MinAccuracy, g.MaxAbsBias, g.MinHitRate)
+	}
+	c.transitionLocked(StateCanary, slot, msg)
 }
 
 func (c *Controller) promoteFleetLocked() {
@@ -609,6 +740,81 @@ func (c *Controller) resetWindowsLocked() {
 	c.biasWin.reset()
 }
 
+// guardVals is the effective guardrail threshold set: the Config constants
+// in fixed mode, the baseline-derived values in adaptive mode once the
+// history is deep enough.
+type guardVals struct {
+	MaxMissRate float64
+	MinAccuracy float64
+	MaxAbsBias  float64
+	MinHitRate  float64
+	Adaptive    bool
+	Ready       bool // derived values active (always true in fixed mode)
+	Windows     int  // folded baseline windows backing the derivation
+}
+
+// guardsLocked computes the effective thresholds. In adaptive mode the
+// breach bars sit one widened percentile beyond the baseline's own trailing
+// behaviour: p95 of per-window miss rate / |bias| on the high side, p5 of
+// accuracy / hit rate on the low side, each pushed out by
+// max(AdaptiveMargin·p, 0.05) so a challenger is only ever punished for
+// being clearly worse than the baseline on comparable scenes.
+func (c *Controller) guardsLocked() guardVals {
+	g := guardVals{
+		MaxMissRate: c.cfg.MaxMissRate,
+		MinAccuracy: c.cfg.MinAccuracy,
+		MaxAbsBias:  c.cfg.MaxAbsBias,
+		MinHitRate:  c.cfg.MinHitRate,
+		Adaptive:    c.cfg.AdaptiveGuards,
+		Ready:       true,
+	}
+	if !c.cfg.AdaptiveGuards {
+		return g
+	}
+	g.Windows = c.missHist.n
+	if c.accHist.n < g.Windows {
+		g.Windows = c.accHist.n
+	}
+	if c.hitHist.n < g.Windows {
+		g.Windows = c.hitHist.n
+	}
+	if g.Windows < 2 {
+		g.Ready = false
+		return g
+	}
+	widen := func(p float64) float64 {
+		w := c.cfg.AdaptiveMargin * p
+		if w < 0.05 {
+			w = 0.05
+		}
+		return w
+	}
+	p95miss := c.missHist.percentile(0.95)
+	g.MaxMissRate = p95miss + widen(p95miss)
+	if g.MaxMissRate < 0.10 {
+		g.MaxMissRate = 0.10 // floor: one stray miss in a thin window is not a breach
+	}
+	if g.MaxMissRate > 0.95 {
+		g.MaxMissRate = 0.95
+	}
+	p5acc := c.accHist.percentile(0.05)
+	g.MinAccuracy = p5acc - widen(p5acc)
+	if g.MinAccuracy < 0 {
+		g.MinAccuracy = 0
+	}
+	p95bias := c.biasHist.percentile(0.95)
+	g.MaxAbsBias = p95bias + widen(p95bias)
+	if g.MaxAbsBias < 0.10 {
+		g.MaxAbsBias = 0.10
+	}
+	p5hit := c.hitHist.percentile(0.05)
+	g.MinHitRate = p5hit - widen(p5hit)
+	if g.MinHitRate < 0 {
+		g.MinHitRate = 0
+	}
+	return g
+}
+
 // checkGuardrailsLocked enforces the SLOs; returns true when it rolled
 // back. Checks run in a fixed order so two runs over the same frames
 // produce identical transition reasons.
@@ -616,27 +822,32 @@ func (c *Controller) checkGuardrailsLocked() bool {
 	if c.state != StateCanary && c.state != StatePromoted {
 		return false
 	}
+	g := c.guardsLocked()
+	tag := ""
+	if g.Adaptive {
+		tag = " (baseline-derived)"
+	}
 	if c.missWin.n >= c.cfg.MinSamples {
-		if r := c.missWin.rate(); r > c.cfg.MaxMissRate {
-			c.rollbackLocked(fmt.Sprintf("deadline-miss rate %.3f > %.3f over %d frames", r, c.cfg.MaxMissRate, c.missWin.n))
+		if r := c.missWin.rate(); r > g.MaxMissRate {
+			c.rollbackLocked(fmt.Sprintf("deadline-miss rate %.3f > %.3f%s over %d frames", r, g.MaxMissRate, tag, c.missWin.n))
 			return true
 		}
 	}
 	if c.accWin.n >= c.cfg.MinSamples {
-		if a := c.accWin.rate(); a < c.cfg.MinAccuracy {
-			c.rollbackLocked(fmt.Sprintf("within-25%% accuracy %.3f < %.3f over %d frames", a, c.cfg.MinAccuracy, c.accWin.n))
+		if a := c.accWin.rate(); a < g.MinAccuracy {
+			c.rollbackLocked(fmt.Sprintf("within-25%% accuracy %.3f < %.3f%s over %d frames", a, g.MinAccuracy, tag, c.accWin.n))
 			return true
 		}
 	}
 	if c.biasWin.n >= c.cfg.MinSamples {
-		if b := c.biasWin.mean(); math.Abs(b) > c.cfg.MaxAbsBias {
-			c.rollbackLocked(fmt.Sprintf("signed bias %+.3f exceeds ±%.3f over %d frames", b, c.cfg.MaxAbsBias, c.biasWin.n))
+		if b := c.biasWin.mean(); math.Abs(b) > g.MaxAbsBias {
+			c.rollbackLocked(fmt.Sprintf("signed bias %+.3f exceeds ±%.3f%s over %d frames", b, g.MaxAbsBias, tag, c.biasWin.n))
 			return true
 		}
 	}
 	if c.hitWin.n >= c.cfg.MinSamples {
-		if h := c.hitWin.rate(); h < c.cfg.MinHitRate {
-			c.rollbackLocked(fmt.Sprintf("scenario hit rate %.3f < %.3f over %d frames", h, c.cfg.MinHitRate, c.hitWin.n))
+		if h := c.hitWin.rate(); h < g.MinHitRate {
+			c.rollbackLocked(fmt.Sprintf("scenario hit rate %.3f < %.3f%s over %d frames", h, g.MinHitRate, tag, c.hitWin.n))
 			return true
 		}
 	}
@@ -756,17 +967,31 @@ type GuardWindow struct {
 	HitSamples  int     `json:"hit_samples"`
 }
 
+// GuardThresholds is the effective guardrail bar set surfaced in /healthz:
+// the configured constants in fixed mode, the baseline-derived values in
+// adaptive mode.
+type GuardThresholds struct {
+	MaxMissRate float64 `json:"max_miss_rate"`
+	MinAccuracy float64 `json:"min_accuracy"`
+	MaxAbsBias  float64 `json:"max_abs_bias"`
+	MinHitRate  float64 `json:"min_hit_rate"`
+	Ready       bool    `json:"ready"`
+	Windows     int     `json:"windows,omitempty"` // folded baseline windows behind the derivation
+}
+
 // Status is the /healthz view of the controller.
 type Status struct {
-	State         string         `json:"state"`
-	Label         string         `json:"label"`
-	Challenger    string         `json:"challenger,omitempty"`
-	CanaryStreams int            `json:"canary_streams"`
-	Frame         uint64         `json:"frame"`
-	Transitions   int            `json:"transitions"`
-	CooldownLeft  uint64         `json:"cooldown_left,omitempty"`
-	Strikes       map[string]int `json:"strikes,omitempty"`
-	Window        GuardWindow    `json:"window"`
+	State         string          `json:"state"`
+	Label         string          `json:"label"`
+	Challenger    string          `json:"challenger,omitempty"`
+	CanaryStreams int             `json:"canary_streams"`
+	Frame         uint64          `json:"frame"`
+	Transitions   int             `json:"transitions"`
+	CooldownLeft  uint64          `json:"cooldown_left,omitempty"`
+	Strikes       map[string]int  `json:"strikes,omitempty"`
+	Window        GuardWindow     `json:"window"`
+	GuardMode     string          `json:"guard_mode"`
+	Guards        GuardThresholds `json:"guards"`
 }
 
 // Status snapshots the controller for /healthz. Allocates; keep it off the
@@ -790,6 +1015,19 @@ func (c *Controller) Status() Status {
 			HitRate:     c.hitWin.rate(),
 			HitSamples:  c.hitWin.n,
 		},
+	}
+	g := c.guardsLocked()
+	st.GuardMode = "fixed"
+	if g.Adaptive {
+		st.GuardMode = "adaptive"
+	}
+	st.Guards = GuardThresholds{
+		MaxMissRate: g.MaxMissRate,
+		MinAccuracy: g.MinAccuracy,
+		MaxAbsBias:  g.MaxAbsBias,
+		MinHitRate:  g.MinHitRate,
+		Ready:       g.Ready,
+		Windows:     g.Windows,
 	}
 	if c.challenger > 0 {
 		st.Challenger = c.slotNameLocked(c.challenger)

@@ -2,6 +2,7 @@ package promote
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"triplec/internal/core"
@@ -102,6 +103,102 @@ func TestReplayMiscalDeterministicRollback(t *testing.T) {
 	if rate := res.PostRollbackMissRate(); res.PostRollbackFrames > 16 && rate >= 0.25 {
 		t.Fatalf("post-rollback miss rate %.3f over %d frames, want below the 0.25 guard",
 			rate, res.PostRollbackFrames)
+	}
+}
+
+// TestStatRingPercentile pins the adaptive-guard history ring: bounded
+// retention, interpolated order statistics, degenerate sizes.
+func TestStatRingPercentile(t *testing.T) {
+	var r statRing
+	r.k = 4
+	if got := r.percentile(0.5); got != 0 {
+		t.Fatalf("empty ring percentile = %v, want 0", got)
+	}
+	r.push(0.3)
+	if got := r.percentile(0.95); got != 0.3 {
+		t.Fatalf("single-entry p95 = %v, want 0.3", got)
+	}
+	// Push past capacity: only the last 4 values (0.2 0.4 0.6 0.8) survive.
+	for _, v := range []float64{0.9, 0.2, 0.4, 0.6, 0.8} {
+		r.push(v)
+	}
+	if r.n != 4 {
+		t.Fatalf("ring kept %d entries, want 4", r.n)
+	}
+	if got := r.percentile(0); got != 0.2 {
+		t.Fatalf("p0 = %v, want 0.2", got)
+	}
+	if got := r.percentile(1); got != 0.8 {
+		t.Fatalf("p100 = %v, want 0.8", got)
+	}
+	if got, want := r.percentile(0.5), 0.5; got < want-1e-12 || got > want+1e-12 {
+		t.Fatalf("p50 = %v, want %v", got, want)
+	}
+}
+
+// TestAdaptiveGuardsMiscalRollback runs the forced-rollback drill with
+// baseline-derived guardrails: the canary must wait for the baseline
+// history to warm up, the derived thresholds must appear in the canary
+// transition reason, the miscalibrated challenger must still be caught,
+// the breach reason must be tagged baseline-derived, and the whole thing
+// must stay byte-deterministic.
+func TestAdaptiveGuardsMiscalRollback(t *testing.T) {
+	cfg := ReplayConfig{
+		Streams:      2,
+		Frames:       240,
+		Miscalibrate: true,
+		Promote:      Config{AdaptiveGuards: true},
+	}
+	run := func() (*ReplayResult, *Controller, string) {
+		var log bytes.Buffer
+		res, ctl, err := Replay(cfg, &log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, ctl, log.String()
+	}
+	res, ctl, log1 := run()
+	_, _, log2 := run()
+	if log1 != log2 {
+		t.Fatalf("adaptive transition logs differ between identical runs:\n--- run 1:\n%s--- run 2:\n%s", log1, log2)
+	}
+	if len(res.Transitions) == 0 {
+		t.Fatal("no transitions: the named challenger was never canaried")
+	}
+	first := res.Transitions[0]
+	if first.From != StateShadow || first.To != StateCanary {
+		t.Fatalf("first transition %+v, want shadow -> canary", first)
+	}
+	// Canary entry is gated on two folded 64-frame baseline windows.
+	if first.Frame < 2*guardWindow {
+		t.Fatalf("canary at fleet frame %d, before the %d-frame baseline warmup", first.Frame, 2*guardWindow)
+	}
+	if !strings.Contains(first.Reason, "adaptive guards over") {
+		t.Fatalf("canary reason %q does not carry the derived thresholds", first.Reason)
+	}
+	if res.FinalState == StatePromoted || res.FinalState == StateShadow {
+		t.Fatalf("final state %s: the miscalibrated challenger slipped past the adaptive guards", res.FinalState)
+	}
+	tagged := false
+	for _, tr := range res.Transitions {
+		if (tr.To == StateRolledBack || tr.To == StateQuarantined) &&
+			strings.Contains(tr.Reason, "(baseline-derived)") {
+			tagged = true
+			break
+		}
+	}
+	if !tagged {
+		t.Fatalf("no rollback with a baseline-derived breach reason in:\n%s", log1)
+	}
+	st := ctl.Status()
+	if st.GuardMode != "adaptive" {
+		t.Fatalf("status guard_mode %q, want adaptive", st.GuardMode)
+	}
+	if !st.Guards.Ready || st.Guards.Windows < 2 {
+		t.Fatalf("status guards not ready after the drill: %+v", st.Guards)
+	}
+	if st.Guards.MinHitRate <= 0 {
+		t.Fatalf("derived scenario-hit floor %v, want > 0 (the baseline hits most scenarios)", st.Guards.MinHitRate)
 	}
 }
 

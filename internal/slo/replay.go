@@ -1,0 +1,316 @@
+package slo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"triplec/internal/core"
+	"triplec/internal/experiments"
+	"triplec/internal/fault"
+	"triplec/internal/flowgraph"
+	"triplec/internal/frame"
+	"triplec/internal/partition"
+	"triplec/internal/pipeline"
+	"triplec/internal/sched"
+	"triplec/internal/tasks"
+)
+
+// ReportSchema identifies the `triplec slo` report document format.
+const ReportSchema = "triplec-slo-v1"
+
+// Replay drives the cause ledger and burn-rate engine over a seeded
+// synthetic fleet deterministically: single goroutine, round-robin
+// streams, fault spikes overlaid onto modeled latency (no wall-clock
+// sleeps or reads), fixed-order report slices — so two runs with the
+// same ReplayConfig produce byte-identical reports. This is the
+// `triplec slo` subcommand's engine and the page-fire/page-clear and
+// sum-invariant test bed.
+
+// ReplayConfig parameterizes a deterministic SLO replay.
+type ReplayConfig struct {
+	Streams int    // concurrent streams (default 2)
+	Frames  int    // frames per stream (default 240)
+	Seed    uint64 // synthetic-sequence base seed (default 11)
+	Train   int    // training sequences (default 2)
+	// BudgetMs fixes the per-frame latency budget; 0 initializes it from
+	// each stream's first processed frame (the paper's rule).
+	BudgetMs float64
+	// SLO tunes the tracker; Streams is overridden to match.
+	SLO Config
+	// Spike, when true, injects deterministic latency spikes on every
+	// stream inside [SpikeFrom, SpikeTo) per-stream frames — the
+	// fast-burn page drill: the page must fire inside the window and
+	// clear after it slides out of the fast window.
+	Spike     bool
+	SpikeFrom int     // first spiked per-stream frame (default 60)
+	SpikeTo   int     // one past the last spiked frame (default 120)
+	SpikeProb float64 // per-task spike probability (default 0.8)
+	SpikeMs   float64 // spike magnitude in ms (default 25)
+}
+
+func (c ReplayConfig) withDefaults() ReplayConfig {
+	if c.Streams <= 0 {
+		c.Streams = 2
+	}
+	if c.Frames <= 0 {
+		c.Frames = 240
+	}
+	if c.Seed == 0 {
+		c.Seed = 11
+	}
+	if c.Train <= 0 {
+		c.Train = 2
+	}
+	if c.SpikeFrom <= 0 {
+		c.SpikeFrom = 60
+	}
+	if c.SpikeTo <= c.SpikeFrom {
+		c.SpikeTo = c.SpikeFrom + 60
+	}
+	if c.SpikeProb <= 0 {
+		c.SpikeProb = 0.8
+	}
+	if c.SpikeMs <= 0 {
+		c.SpikeMs = 25
+	}
+	c.SLO.Streams = c.Streams
+	return c
+}
+
+// ReplayResult is the `triplec slo` report document.
+type ReplayResult struct {
+	Schema    string `json:"schema"`
+	Streams   int    `json:"streams"`
+	Frames    int    `json:"frames"`
+	Seed      uint64 `json:"seed"`
+	Spike     bool   `json:"spike"`
+	Processed int    `json:"processed"`
+	Failed    int    `json:"failed"`
+	Misses    int    `json:"misses"`
+	// MaxSumErrMs is the largest |sum(cause ms) - measured latency| seen
+	// on any frame: the decomposition-exactness witness (must be ≤1e-6).
+	MaxSumErrMs float64 `json:"max_sum_err_ms"`
+	// FirstPageFrame is the fleet frame of the first deadline-SLO page
+	// (-1 when none fired); PageCleared reports whether the last
+	// deadline page returned to ok before the run ended.
+	FirstPageFrame int     `json:"first_page_frame"`
+	PageCleared    bool    `json:"page_cleared"`
+	Status         *Status `json:"status"`
+}
+
+// scenarioSink captures the predictor's scenario verdict for the frame
+// being served (fired synchronously inside Manager.Observe).
+type scenarioSink struct{ miss bool }
+
+func (s *scenarioSink) TaskSample(tasks.Name, float64, float64) {}
+func (s *scenarioSink) ScenarioSample(predicted, actual flowgraph.Scenario) {
+	s.miss = predicted != actual
+}
+
+// replayStream is one stream's serving state in the round-robin loop.
+type replayStream struct {
+	eng          *pipeline.Engine
+	mgr          *sched.Manager
+	src          func(int) *frame.Frame
+	sink         scenarioSink
+	processed    int
+	pendingFault bool
+}
+
+// Replay builds the fleet, serves frames*streams round-robin steps
+// through the tracker and returns the report plus the tracker.
+func Replay(cfg ReplayConfig) (*ReplayResult, *Tracker, error) {
+	cfg = cfg.withDefaults()
+
+	study := experiments.DefaultStudy()
+	study.TrainSeqs = cfg.Train
+	study.TrainFrames = 60
+	fp := study.FramePixels()
+
+	tracker := NewTracker(cfg.SLO)
+
+	// Spike plan: the injector's spikes accumulate into a per-stream
+	// latency overlay instead of sleeping, and the overlay only applies
+	// inside the configured frame window — the loop below raises and
+	// lowers spikeGate, so the drill is wall-clock free and repeatable.
+	spikeOverlay := make([]float64, cfg.Streams)
+	spikeGate := false
+	var baseInj *fault.Injector
+	if cfg.Spike {
+		var err error
+		baseInj, err = fault.New(fault.Config{
+			Seed:     cfg.Seed,
+			Defaults: fault.Probs{Spike: cfg.SpikeProb},
+			SpikeMs:  cfg.SpikeMs,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		baseInj.SetSleep(func(time.Duration) {})
+		spikeMs := cfg.SpikeMs
+		baseInj.SetOnFault(func(si int, _ tasks.Name, _ int, kind fault.Kind) {
+			if spikeGate && kind == fault.KindSpike && si >= 0 && si < len(spikeOverlay) {
+				spikeOverlay[si] += spikeMs
+			}
+		})
+	}
+
+	streams := make([]*replayStream, cfg.Streams)
+	for i := range streams {
+		p, err := study.TrainPredictor()
+		if err != nil {
+			return nil, nil, err
+		}
+		mgr, err := sched.NewManager(p, study.Arch)
+		if err != nil {
+			return nil, nil, err
+		}
+		mgr.Sticky = true
+		mgr.BudgetMs = cfg.BudgetMs
+		eng, err := study.Engine()
+		if err != nil {
+			return nil, nil, err
+		}
+		seq, err := study.Sequence(cfg.Seed + uint64(i)*1013)
+		if err != nil {
+			return nil, nil, err
+		}
+		src := experiments.Source(seq)
+		if baseInj != nil {
+			inj := baseInj.ForStream(i)
+			eng.SetTaskHook(inj.BeforeTask)
+			src = inj.WrapSource(src)
+		}
+		st := &replayStream{eng: eng, mgr: mgr, src: src}
+		mgr.Predictor().SetMetricsSink(&st.sink)
+		streams[i] = st
+	}
+
+	res := &ReplayResult{
+		Schema:         ReportSchema,
+		Streams:        cfg.Streams,
+		Frames:         cfg.Frames,
+		Seed:           cfg.Seed,
+		Spike:          cfg.Spike,
+		FirstPageFrame: -1,
+	}
+	tracker.SetOnTransition(func(tr Transition) {
+		if tr.SLO == SLODeadline && tr.To == AlertPage && res.FirstPageFrame < 0 {
+			res.FirstPageFrame = int(tr.Frame)
+		}
+	})
+
+	var in FrameInput
+	var check Breakdown
+	for fi := 0; fi < cfg.Frames; fi++ {
+		spikeGate = cfg.Spike && fi >= cfg.SpikeFrom && fi < cfg.SpikeTo
+		for si, st := range streams {
+			var dec sched.Decision
+			if st.processed == 0 {
+				dec = sched.Decision{Mapping: partition.Serial()}
+			} else {
+				dec = st.mgr.Plan()
+			}
+			spikeOverlay[si] = 0
+			st.sink.miss = false
+			f := st.src(fi)
+			if f == nil {
+				return nil, nil, fmt.Errorf("slo: stream %d frame %d: nil source frame", si, fi)
+			}
+			rep, perr := st.eng.Process(f, dec.Mapping)
+			if perr != nil {
+				var te *pipeline.TaskError
+				if errors.As(perr, &te) {
+					res.Failed++
+					st.pendingFault = true
+					continue
+				}
+				return nil, nil, fmt.Errorf("slo: stream %d frame %d: %w", si, fi, perr)
+			}
+			if st.processed == 0 && st.mgr.BudgetMs <= 0 {
+				st.mgr.InitBudget(rep.LatencyMs)
+			}
+			st.processed++
+			res.Processed++
+			st.mgr.Observe(core.FromReports([]pipeline.Report{rep}, fp)[0])
+
+			lat := rep.LatencyMs + spikeOverlay[si]
+			in = FrameInput{
+				Stream:       si,
+				Frame:        fi,
+				LatencyMs:    lat,
+				PredictedMs:  dec.PredictedMs,
+				BudgetMs:     st.mgr.BudgetMs,
+				ScenarioMiss: st.sink.miss,
+				FaultRecover: st.pendingFault,
+				FaultMs:      spikeOverlay[si],
+			}
+			st.pendingFault = false
+			if st.mgr.BudgetMs > 0 && lat > st.mgr.BudgetMs {
+				res.Misses++
+			}
+
+			// Exactness witness: re-run the decomposition and compare the
+			// cause sum against the measured latency.
+			Classify(&in, &check)
+			sum := 0.0
+			for c := 0; c < NumCauses; c++ {
+				sum += check.Ms[c]
+			}
+			if err := math.Abs(sum - lat); err > res.MaxSumErrMs {
+				res.MaxSumErrMs = err
+			}
+
+			tracker.ObserveFrame(&in)
+		}
+	}
+
+	// Quantize the exactness witness the same way the status block is
+	// quantized: the jitter below 1e-9 is goroutine-order float noise.
+	res.MaxSumErrMs = math.Round(res.MaxSumErrMs*1e9) / 1e9
+
+	st := tracker.Status(true)
+	res.Status = st
+	res.PageCleared = true
+	for _, s := range st.SLOs {
+		if s.SLO == SLODeadline.String() && s.State == AlertPage.String() {
+			res.PageCleared = false
+		}
+	}
+	return res, tracker, nil
+}
+
+// Check validates a replay report: the decomposition must be exact to
+// 1e-6, the ledger totals must reconcile, and (expectPage) the
+// fault-spike drill must have fired a deadline page and cleared it.
+func Check(res *ReplayResult, expectPage bool) error {
+	if res == nil {
+		return errors.New("slo: nil report")
+	}
+	if res.Schema != ReportSchema {
+		return fmt.Errorf("slo: schema %q, want %q", res.Schema, ReportSchema)
+	}
+	if res.MaxSumErrMs > 1e-6 {
+		return fmt.Errorf("slo: cause decomposition off by %.3g ms (> 1e-6)", res.MaxSumErrMs)
+	}
+	if res.Status == nil {
+		return errors.New("slo: report has no status block")
+	}
+	if got := int(res.Status.Fleet.Frames); got != res.Processed {
+		return fmt.Errorf("slo: fleet ledger saw %d frames, replay processed %d", got, res.Processed)
+	}
+	if got := int(res.Status.Fleet.Missed); got != res.Misses {
+		return fmt.Errorf("slo: fleet ledger counted %d misses, replay %d", got, res.Misses)
+	}
+	if expectPage {
+		if res.FirstPageFrame < 0 {
+			return errors.New("slo: expected a deadline page, none fired")
+		}
+		if !res.PageCleared {
+			return errors.New("slo: deadline page never cleared")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package slo
+
+import (
+	"html/template"
+	"net/http"
+)
+
+// slozTmpl renders the cause breakdown and burn gauges. Kept
+// dependency-free and monospace to match /debug/predictorz.
+var slozTmpl = template.Must(template.New("sloz").Funcs(template.FuncMap{
+	"pct":  func(v float64) float64 { return v * 100 },
+	"barw": func(v float64) int { return int(v * 200) },
+}).Parse(`<!doctype html>
+<html><head><title>triplec slo</title><style>
+body { font-family: monospace; margin: 2em; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #999; padding: 4px 10px; text-align: right; }
+th { background: #eee; }
+td.l, th.l { text-align: left; }
+.ok { color: #080; } .ticket { color: #b80; } .page { color: #c00; font-weight: bold; }
+.bar { display: inline-block; height: 10px; background: #36c; }
+</style></head><body>
+<h1>SLO burn &amp; cause ledger</h1>
+<p>fleet frame {{.Frame}}</p>
+<h2>Objectives</h2>
+<table>
+<tr><th class="l">slo</th><th>objective</th><th>state</th>
+<th>fast burn</th><th>slow burn</th><th>page&ge;</th><th>ticket&ge;</th>
+<th>bad</th><th>good</th><th>pages</th><th>tickets</th></tr>
+{{range .SLOs}}<tr>
+<td class="l">{{.SLO}}</td><td>{{printf "%.3f" .Objective}}</td>
+<td class="{{.State}}">{{.State}}</td>
+<td>{{printf "%.2f" .FastBurn}}</td><td>{{printf "%.2f" .SlowBurn}}</td>
+<td>{{printf "%.1f" .PageBurn}}</td><td>{{printf "%.1f" .TicketBurn}}</td>
+<td>{{.BadFrames}}</td><td>{{.GoodFrames}}</td>
+<td>{{.Pages}}</td><td>{{.Tickets}}</td>
+</tr>{{end}}
+</table>
+<h2>Cause ledger</h2>
+{{range .AllCauses}}
+<h3>{{.Stream}} — {{.Frames}} frames, {{.Missed}} missed, {{printf "%.2f" .OverMs}} ms overage</h3>
+<table>
+<tr><th class="l">cause</th><th>ms</th><th>ms share</th><th>overage frames</th><th>overage share</th><th class="l"></th></tr>
+{{range .Causes}}<tr>
+<td class="l">{{.Cause}}</td><td>{{printf "%.2f" .Ms}}</td>
+<td>{{printf "%.1f%%" (pct .MsShare)}}</td>
+<td>{{.Frames}}</td><td>{{printf "%.1f%%" (pct .OverShare)}}</td>
+<td class="l"><span class="bar" style="width: {{barw .MsShare}}px"></span></td>
+</tr>{{end}}
+</table>
+{{end}}
+{{if .Transitions}}<h2>Alert transitions</h2>
+<table>
+<tr><th>seq</th><th>frame</th><th class="l">slo</th><th class="l">from</th><th class="l">to</th></tr>
+{{range .Transitions}}<tr>
+<td>{{.Seq}}</td><td>{{.Frame}}</td><td class="l">{{.SLOName}}</td>
+<td class="l {{.FromName}}">{{.FromName}}</td><td class="l {{.ToName}}">{{.ToName}}</td>
+</tr>{{end}}
+</table>{{end}}
+</body></html>
+`))
+
+type slozView struct {
+	*Status
+	AllCauses []StreamCauses
+}
+
+// Handler serves the /debug/sloz page. Returns 404 when the tracker is
+// nil (SLO tracking disabled).
+func (t *Tracker) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if t == nil {
+			http.Error(w, "slo tracking disabled", http.StatusNotFound)
+			return
+		}
+		st := t.Status(true)
+		view := slozView{Status: st}
+		view.AllCauses = append(view.AllCauses, st.Fleet)
+		view.AllCauses = append(view.AllCauses, st.Streams...)
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if err := slozTmpl.Execute(w, view); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

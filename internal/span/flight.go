@@ -188,6 +188,22 @@ func (fr *FlightRecorder) ObserveFrame(stream, frame int, missed bool, predicted
 	}
 }
 
+// ArmedDumpSeq returns the sequence number the currently pending dump
+// will be written under (the N in trace-NNNN-reason.json), or -1 when no
+// dump is armed. Metric exemplars use it to link a histogram bucket to
+// the dump that will explain it.
+func (fr *FlightRecorder) ArmedDumpSeq() int {
+	if fr == nil || !fr.armed.Load() {
+		return -1
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	if fr.pending == nil {
+		return -1
+	}
+	return fr.seq
+}
+
 // ObservePanic feeds a task-panic frame to the trigger engine.
 func (fr *FlightRecorder) ObservePanic(stream, frame int) {
 	if fr == nil || !fr.cfg.TaskPanic {

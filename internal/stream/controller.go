@@ -138,6 +138,12 @@ func (c *controller) directive(i, frameIdx int) Directive {
 	return Directive{Mode: ModeSerial, Cores: 1}
 }
 
+// rebalances exposes the arbiter's re-division count (the cause ledger
+// flags frames that follow one).
+func (c *controller) rebalances() int {
+	return c.mm.Rebalances()
+}
+
 // quarantine retires stream i from the arbitration: its cores flow to the
 // surviving streams immediately (the arbiter rebalances inside Retire), so
 // they stop shedding load against a dead stream's stale demand.

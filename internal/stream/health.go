@@ -7,6 +7,7 @@ import (
 
 	"triplec/internal/core"
 	"triplec/internal/promote"
+	"triplec/internal/slo"
 )
 
 // Health is one stream's live serving summary, assembled from the stream's
@@ -46,17 +47,17 @@ type Health struct {
 	// averages it away.
 	RollingMissRate    float64 `json:"rolling_miss_rate"`
 	RollingMissSamples int     `json:"rolling_miss_samples"`
-	ScenarioHitRate float64 `json:"scenario_hit_rate"`
+	ScenarioHitRate    float64 `json:"scenario_hit_rate"`
 	// RollingScenarioHitRate is the hit fraction over the last
 	// RollingScenarioSamples (≤ 64) forecasts — a drift probe that reacts
 	// where the cumulative ScenarioHitRate averages it away.
 	RollingScenarioHitRate float64 `json:"rolling_scenario_hit_rate"`
 	RollingScenarioSamples int     `json:"rolling_scenario_samples"`
-	BudgetMs        float64 `json:"budget_ms"`
-	LastLatencyMs   float64 `json:"last_latency_ms"`
-	MeanLatencyMs   float64 `json:"mean_latency_ms"`
-	P95LatencyMs    float64 `json:"p95_latency_ms"`
-	CoreBudget      float64 `json:"core_budget"`
+	BudgetMs               float64 `json:"budget_ms"`
+	LastLatencyMs          float64 `json:"last_latency_ms"`
+	MeanLatencyMs          float64 `json:"mean_latency_ms"`
+	P95LatencyMs           float64 `json:"p95_latency_ms"`
+	CoreBudget             float64 `json:"core_budget"`
 }
 
 // healthReport is the /healthz response body.
@@ -67,6 +68,10 @@ type healthReport struct {
 	// challenger, canary width, guard windows); omitted when the server was
 	// built without ServerConfig.Promote.
 	Promotion *promote.Status `json:"promotion,omitempty"`
+	// SLO is the burn-rate tracker's live status (per-SLO alert states and
+	// burn rates plus the fleet cause ledger); omitted when the server was
+	// built without ServerConfig.SLO.
+	SLO *slo.Status `json:"slo,omitempty"`
 }
 
 func stateString(s int32) string {
@@ -157,6 +162,9 @@ func (s *Server) HealthHandler() http.Handler {
 		if s.cfg.Promote != nil {
 			st := s.cfg.Promote.Status()
 			rep.Promotion = &st
+		}
+		if s.cfg.SLO != nil {
+			rep.SLO = s.cfg.SLO.Status(false)
 		}
 		code := http.StatusOK
 		for _, h := range streams {

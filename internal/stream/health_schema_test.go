@@ -1,0 +1,190 @@
+package stream
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+
+	"triplec/internal/metrics"
+	"triplec/internal/slo"
+)
+
+// healthzGoldenPaths is the pinned /healthz JSON schema for a healthy run
+// with telemetry and the SLO tracker enabled: every leaf field, arrays
+// flattened as "[]". Adding a field is fine (extend the golden); renaming
+// or dropping one breaks dashboards and must show up here.
+var healthzGoldenPaths = []string{
+	"slo.fleet.causes[].cause",
+	"slo.fleet.causes[].frames",
+	"slo.fleet.causes[].ms",
+	"slo.fleet.causes[].ms_share",
+	"slo.fleet.causes[].over_share",
+	"slo.fleet.frames",
+	"slo.fleet.missed",
+	"slo.fleet.over_ms",
+	"slo.fleet.stream",
+	"slo.frame",
+	"slo.slos[].bad_frames",
+	"slo.slos[].fast_burn",
+	"slo.slos[].fast_window",
+	"slo.slos[].good_frames",
+	"slo.slos[].objective",
+	"slo.slos[].page_burn",
+	"slo.slos[].pages",
+	"slo.slos[].slo",
+	"slo.slos[].slow_burn",
+	"slo.slos[].slow_window",
+	"slo.slos[].state",
+	"slo.slos[].ticket_burn",
+	"slo.slos[].tickets",
+	"status",
+	"streams[].abandoned",
+	"streams[].accounting_errors",
+	"streams[].budget_ms",
+	"streams[].core_budget",
+	"streams[].deadline_misses",
+	"streams[].failed",
+	"streams[].last_frame",
+	"streams[].last_latency_ms",
+	"streams[].mean_latency_ms",
+	"streams[].miss_rate",
+	"streams[].offered",
+	"streams[].p95_latency_ms",
+	"streams[].predictor",
+	"streams[].processed",
+	"streams[].quality_level",
+	"streams[].restarts",
+	"streams[].rolling_miss_rate",
+	"streams[].rolling_miss_samples",
+	"streams[].rolling_scenario_hit_rate",
+	"streams[].rolling_scenario_samples",
+	"streams[].scenario_hit_rate",
+	"streams[].serial_fallbacks",
+	"streams[].skipped",
+	"streams[].state",
+	"streams[].stream",
+	"streams[].task_panics",
+}
+
+// collectPaths flattens a decoded JSON document into its leaf paths.
+func collectPaths(prefix string, v any, out map[string]bool) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, vv := range x {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			collectPaths(p, vv, out)
+		}
+	case []any:
+		if len(x) == 0 {
+			out[prefix+"[]"] = true
+			return
+		}
+		for _, vv := range x {
+			collectPaths(prefix+"[]", vv, out)
+		}
+	default:
+		out[prefix] = true
+	}
+}
+
+// TestHealthzGoldenSchema serves a short run with telemetry, the SLO
+// tracker and exemplars enabled, then pins the exact /healthz JSON shape
+// and checks the tracker's ledger agrees with the serving stats.
+func TestHealthzGoldenSchema(t *testing.T) {
+	s := testStudy()
+	cfgs := []Config{
+		mkStream(t, s, "g0", 3, 0),
+		mkStream(t, s, "g1", 4, 0),
+	}
+	reg := metrics.NewRegistry()
+	tracker := slo.NewTracker(slo.Config{Streams: len(cfgs)})
+	if err := tracker.EnableMetrics(reg, []string{"g0", "g1"}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{Metrics: reg, SLO: tracker, SLOExemplars: true}, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 24 frames/stream: enough ledger mass, but the 64-frame fast window
+	// never fills, so no alert transitions appear (they are omitempty and
+	// would perturb the schema).
+	res, err := srv.Run(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	srv.HealthHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("healthz status %d: %s", rec.Code, rec.Body.String())
+	}
+	var doc any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("healthz is not JSON: %v", err)
+	}
+	paths := map[string]bool{}
+	collectPaths("", doc, paths)
+	got := make([]string, 0, len(paths))
+	for p := range paths {
+		got = append(got, p)
+	}
+	sort.Strings(got)
+	want := append([]string(nil), healthzGoldenPaths...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Errorf("healthz schema has %d paths, golden has %d", len(got), len(want))
+	}
+	for i := 0; i < len(got) || i < len(want); i++ {
+		var g, w string
+		if i < len(got) {
+			g = got[i]
+		}
+		if i < len(want) {
+			w = want[i]
+		}
+		if g != w {
+			t.Fatalf("healthz schema diverges from golden at entry %d: got %q, want %q\nfull schema:\n%s",
+				i, g, w, strings.Join(got, "\n"))
+		}
+	}
+
+	// The tracker's fleet ledger must agree with the serving stats.
+	processed := 0
+	for _, sr := range res.Streams {
+		if sr.Err != nil {
+			t.Fatal(sr.Err)
+		}
+		processed += sr.Stats.Processed
+	}
+	st := tracker.Status(true)
+	if st.Fleet.Frames != uint64(processed) {
+		t.Fatalf("tracker saw %d frames, server processed %d", st.Fleet.Frames, processed)
+	}
+	if len(st.Streams) != len(cfgs) {
+		t.Fatalf("tracker reports %d streams, want %d", len(st.Streams), len(cfgs))
+	}
+
+	// The triplec_slo_* families are live, and the OpenMetrics rendering
+	// carries a frame-latency exemplar from the serving loop.
+	mreq := httptest.NewRequest("GET", "/metrics", nil)
+	mreq.Header.Set("Accept", "application/openmetrics-text")
+	mrec := httptest.NewRecorder()
+	metrics.Handler(reg).ServeHTTP(mrec, mreq)
+	body := mrec.Body.String()
+	for _, fam := range []string{"triplec_slo_frames_total", "triplec_slo_burn_rate", "triplec_slo_cause_ms"} {
+		if !strings.Contains(body, fam) {
+			t.Errorf("exposition missing %s", fam)
+		}
+	}
+	if !strings.Contains(body, `# {frame="`) {
+		t.Error("OpenMetrics exposition carries no exemplar despite SLOExemplars")
+	}
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Error("OpenMetrics exposition missing the EOF terminator")
+	}
+}

@@ -65,20 +65,28 @@ func (s *spanSink) ScenarioSample(predicted, actual flowgraph.Scenario) {
 	}
 	if predicted != actual {
 		s.r.fb.ScenarioMiss(predicted.Index(), actual.Index())
+		// Stage the miss for the cause ledger: consumed (and cleared) when
+		// this frame commits through observeSLO.
+		s.r.pendingScenMiss = true
 	}
 }
 
 // attachSpans binds a fresh frame builder to the runner's current engine
 // and installs the fan-out metrics sink on its predictor. Called at stream
 // start and again after every supervisor rebuild (after telemetry rewire,
-// so the fan-out sink wins).
+// so the fan-out sink wins). The sink is also what stages scenario misses
+// for the SLO cause ledger, so it installs whenever Flight OR SLO is
+// configured (every FrameBuilder method is nil-receiver safe, so a
+// flight-less sink is harmless).
 func (r *runner) attachSpans() {
-	if r.cfg.Flight == nil {
+	if r.cfg.Flight == nil && r.cfg.SLO == nil {
 		return
 	}
-	r.fr = r.cfg.Flight
-	r.fb = span.NewFrameBuilder(r.fr.Recorder(), int32(r.si))
-	r.eng.SetSpanBuilder(r.fb)
+	if r.cfg.Flight != nil {
+		r.fr = r.cfg.Flight
+		r.fb = span.NewFrameBuilder(r.fr.Recorder(), int32(r.si))
+		r.eng.SetSpanBuilder(r.fb)
+	}
 	r.mgr.Predictor().SetMetricsSink(&spanSink{tel: r.tel, r: r})
 }
 

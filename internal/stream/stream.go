@@ -37,6 +37,7 @@ import (
 	"triplec/internal/promote"
 	"triplec/internal/sched"
 	"triplec/internal/shadow"
+	"triplec/internal/slo"
 	"triplec/internal/span"
 	"triplec/internal/trace"
 )
@@ -155,6 +156,21 @@ type ServerConfig struct {
 	// (healthReport.Promotion, per-stream Predictor) and, when Flight is
 	// also set, in every dump's metadata and promote instants.
 	Promote *promote.Controller
+	// SLO, when set, is the frame-latency cause ledger and burn-rate
+	// tracker: the serving loop classifies every processed frame's latency
+	// overage into causes (compute, core-wait, scenario-miss, rebalance,
+	// degrade, fault, drain) and feeds the multi-window burn-rate alerts.
+	// Build it with slo.NewTracker (Config.Streams must cover the stream
+	// count), expose it via Tracker.Handler at /debug/sloz; its status
+	// rides along in /healthz (healthReport.SLO). The per-frame observation
+	// path is allocation-free.
+	SLO *slo.Tracker
+	// SLOExemplars links each stream's frame-latency histogram to the
+	// flight recorder: every processed frame's latency is attached as an
+	// OpenMetrics exemplar carrying the frame index and, when a dump is
+	// armed, the dump sequence number. Needs Metrics; Flight supplies the
+	// dump linkage (without it exemplars carry the frame index only).
+	SLOExemplars bool
 }
 
 func (c ServerConfig) withDefaults(streams []Config) ServerConfig {
@@ -342,6 +358,14 @@ func NewServer(cfg ServerConfig, streams []Config) (*Server, error) {
 			cfg.Promote.SetSpanRecorder(cfg.Flight.Recorder())
 		}
 	}
+	if cfg.SLOExemplars {
+		if srv.tels == nil {
+			return nil, errors.New("stream: SLOExemplars needs ServerConfig.Metrics (exemplars attach to the frame-latency histograms)")
+		}
+		for _, t := range srv.tels {
+			t.acct.FrameLatencyMs.EnableExemplars()
+		}
+	}
 	return srv, nil
 }
 
@@ -462,6 +486,16 @@ type runner struct {
 	// shadowObs is the reusable dense observation handed to the shadow
 	// board each frame (scratch space keeps the path allocation-free).
 	shadowObs core.FrameObs
+
+	// SLO cause-ledger state (used only when cfg.SLO is set). sloIn is the
+	// reusable classification input; the pending flags carry cross-frame
+	// cause evidence (a scenario miss noticed inside Manager.Observe, a
+	// fault-recovery frame) to the next ObserveFrame. lastRebalances
+	// detects arbiter re-divisions between this stream's frames.
+	sloIn           slo.FrameInput
+	pendingScenMiss bool
+	pendingFault    bool
+	lastRebalances  int
 }
 
 // serveOne is the per-stream goroutine body: admission, planning,
@@ -689,6 +723,7 @@ func (r *runner) serveFrames(start int) (failedAt int, stalled bool, err error) 
 		}
 		r.observeOutcome(missed == 0)
 		r.spanProcessed(i, rep.Scenario.Index(), int(rep.Quality), d.Cores, dec.PredictedMs, rep.LatencyMs, missed == 1)
+		r.observeSLO(i, d.Mode, dec.PredictedMs, rep.LatencyMs)
 		tel.processed(rep.LatencyMs, missed == 1, len(rep.AccountingErrs) > 0)
 		if err := tr.Append(rep.LatencyMs, dec.PredictedMs, float64(d.Cores), missed, 0, serialFrame, 0, 0); err != nil {
 			return i, false, err
@@ -735,6 +770,9 @@ func (r *runner) recordLostFrame(i int, cores, serialFrame float64, taskFailure 
 	}
 	r.sinceRestart++
 	r.observeOutcome(false)
+	// The next processed frame is a fault-recovery frame: the cause ledger
+	// charges its overage to recovery, not to scheduling.
+	r.pendingFault = true
 	_ = r.res.Trace.Append(0, 0, cores, 0, 0, serialFrame, failed, abandoned)
 }
 
